@@ -1,0 +1,467 @@
+package spidernet
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (one benchmark per figure, reduced scale per iteration) plus
+// ablation benchmarks for the design choices called out in DESIGN.md.
+// Figures report their headline numbers through b.ReportMetric, so
+// `go test -bench=.` prints both the running time and the reproduced
+// quantities. Full-size runs: `go run ./cmd/spiderbench -fig all [-paper]`.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bcp"
+	"repro/internal/cluster"
+	"repro/internal/dht"
+	"repro/internal/experiment"
+	"repro/internal/fgraph"
+	"repro/internal/p2p"
+	"repro/internal/qos"
+	"repro/internal/recovery"
+	"repro/internal/service"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// --- Figure benchmarks -------------------------------------------------
+
+// BenchmarkFig8SuccessRatio regenerates Figure 8: QoS success ratio vs.
+// workload for optimal / probing-0.2 / probing-0.1 / random / static.
+func BenchmarkFig8SuccessRatio(b *testing.B) {
+	cfg := experiment.DefaultFig8Config()
+	cfg.IPNodes = 400
+	cfg.Peers = 60
+	cfg.Functions = 12
+	cfg.Workloads = []int{2, 8}
+	cfg.TimeUnits = 10
+	var res experiment.Fig8Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Fig8(cfg)
+	}
+	last := res.Points[len(res.Points)-1]
+	b.ReportMetric(last.Optimal, "optimal-success")
+	b.ReportMetric(last.Probing20, "probing02-success")
+	b.ReportMetric(last.Random, "random-success")
+}
+
+// BenchmarkFig9FailureRecovery regenerates Figure 9: failure frequency
+// with/without proactive recovery under 1%-per-unit churn.
+func BenchmarkFig9FailureRecovery(b *testing.B) {
+	cfg := experiment.DefaultFig9Config()
+	cfg.IPNodes = 400
+	cfg.Peers = 60
+	cfg.Functions = 10
+	cfg.Sessions = 12
+	cfg.TimeUnits = 20
+	var res experiment.Fig9Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Fig9(cfg)
+	}
+	b.ReportMetric(float64(res.DeadWithout), "failures-without")
+	b.ReportMetric(float64(res.DeadWithRecovery), "failures-with")
+	b.ReportMetric(res.AvgBackups, "avg-backups")
+}
+
+// BenchmarkFig10SetupTime regenerates Figure 10: wide-area session setup
+// time vs. function count on the live goroutine runtime.
+func BenchmarkFig10SetupTime(b *testing.B) {
+	cfg := experiment.DefaultFig10Config()
+	cfg.Hosts = 60
+	cfg.Speedup = 100
+	cfg.RequestsPerSize = 4
+	var res experiment.Fig10Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Fig10(cfg)
+	}
+	for _, p := range res.Points {
+		if p.Succeeded > 0 {
+			b.ReportMetric(float64(p.Total)/float64(time.Millisecond),
+				"setup-ms-"+itoa(p.Funcs)+"fn")
+		}
+	}
+}
+
+// BenchmarkFig11BudgetSweep regenerates Figure 11: service delay vs.
+// probing budget for random / SpiderNet / optimal.
+func BenchmarkFig11BudgetSweep(b *testing.B) {
+	cfg := experiment.DefaultFig11Config()
+	cfg.IPNodes = 500
+	cfg.Peers = 60
+	cfg.Budgets = []int{4, 60, 400}
+	cfg.Requests = 6
+	var res experiment.Fig11Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Fig11(cfg)
+	}
+	last := res.Points[len(res.Points)-1]
+	b.ReportMetric(last.Random, "random-delay-ms")
+	b.ReportMetric(last.SpiderNet, "spidernet-delay-ms")
+	b.ReportMetric(last.Optimal, "optimal-delay-ms")
+}
+
+// BenchmarkOverheadVsCentralized regenerates the §6.1 overhead claim:
+// BCP's on-demand probing vs. periodic global-view maintenance.
+func BenchmarkOverheadVsCentralized(b *testing.B) {
+	cfg := experiment.DefaultOverheadConfig()
+	cfg.IPNodes = 400
+	cfg.Peers = 80
+	cfg.Functions = 12
+	cfg.Requests = 30
+	var res experiment.OverheadResult
+	for i := 0; i < b.N; i++ {
+		res = experiment.Overhead(cfg)
+	}
+	b.ReportMetric(res.Ratio, "centralized/bcp-ratio")
+}
+
+// --- Ablation benchmarks ------------------------------------------------
+
+func ablationCluster(seed int64, bcpCfg bcp.Config) (*cluster.Cluster, *workload.Generator) {
+	catalog := make([]string, 10)
+	for i := range catalog {
+		catalog[i] = "fn" + itoa(i)
+	}
+	c := cluster.New(cluster.Options{
+		Seed: seed, IPNodes: 400, Peers: 60, Catalog: catalog, BCP: bcpCfg,
+	})
+	gen := workload.NewGenerator(workload.Config{
+		Catalog: catalog, Peers: 60, MinFuncs: 3, MaxFuncs: 3,
+		Budget: 12, DelayReqMin: 300, DelayReqMax: 600,
+	}, c.Rng)
+	return c, gen
+}
+
+// runBatch composes n requests and returns (success ratio, mean delay ms).
+func runBatch(c *cluster.Cluster, gen *workload.Generator, n int, mutate func(*service.Request)) (float64, float64) {
+	okCount, delaySum, delayN := 0, 0.0, 0
+	for i := 0; i < n; i++ {
+		req := gen.Next()
+		if mutate != nil {
+			mutate(req)
+		}
+		eng := c.Peers[int(req.Source)].Engine
+		eng.Compose(req, func(res bcp.Result) {
+			if res.Ok {
+				okCount++
+				delaySum += res.Best.QoS[qos.Delay]
+				delayN++
+				eng.Teardown(res.Best)
+			}
+		})
+		c.Sim.Run(c.Sim.Now() + 30*time.Second)
+	}
+	avg := 0.0
+	if delayN > 0 {
+		avg = delaySum / float64(delayN)
+	}
+	return float64(okCount) / float64(n), avg
+}
+
+// BenchmarkAblationQuota compares replica-proportional probing quotas (the
+// paper's default) against uniform quotas of 1 probe per function.
+func BenchmarkAblationQuota(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, gen := ablationCluster(70, bcp.DefaultConfig())
+		okProp, _ := runBatch(c, gen, 15, nil)
+		c2, gen2 := ablationCluster(70, bcp.DefaultConfig())
+		okUniform, _ := runBatch(c2, gen2, 15, func(r *service.Request) {
+			r.Quota = make([]int, r.FGraph.NumFunctions())
+			for k := range r.Quota {
+				r.Quota[k] = 1
+			}
+		})
+		b.ReportMetric(okProp, "success-proportional")
+		b.ReportMetric(okUniform, "success-uniform")
+	}
+}
+
+// BenchmarkAblationCommutation compares composition with and without
+// exchangeable-order exploration on requests that carry commutation links.
+func BenchmarkAblationCommutation(b *testing.B) {
+	run := func(disable bool) float64 {
+		cfg := bcp.DefaultConfig()
+		cfg.DisableCommutation = disable
+		c := cluster.New(cluster.Options{Seed: 71, IPNodes: 400, Peers: 60, BCP: cfg})
+		gen := workload.NewGenerator(workload.Config{
+			Catalog: c.FunctionsByReplicas(), Peers: 60,
+			MinFuncs: 3, MaxFuncs: 4, CommuteProb: 1.0,
+			// Tight delay bounds: composition order decides qualification,
+			// so exploring the exchanged order visibly rescues requests.
+			Budget: 16, DelayReqMin: 180, DelayReqMax: 330,
+		}, newSeededRng(71))
+		ok, _ := runBatch(c, gen, 20, nil)
+		return ok
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(run(false), "success-with-commutation")
+		b.ReportMetric(run(true), "success-without")
+	}
+}
+
+// BenchmarkAblationNextHopMetric compares the composite next-hop selection
+// metric against random next-hop picks under a small probing budget.
+func BenchmarkAblationNextHopMetric(b *testing.B) {
+	run := func(random bool) float64 {
+		cfg := bcp.DefaultConfig()
+		cfg.RandomNextHop = random
+		c, gen := ablationCluster(72, cfg)
+		for _, p := range c.Peers {
+			p.Engine.SelectByDelay = true
+		}
+		_, delay := runBatch(c, gen, 15, func(r *service.Request) {
+			r.Budget = 4 // tight budget: selection quality matters
+			r.QoSReq[qos.Delay] = 5000
+		})
+		return delay
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(run(false), "delay-composite-metric")
+		b.ReportMetric(run(true), "delay-random-nexthop")
+	}
+}
+
+// BenchmarkAblationBackupSelection compares the paper's overlap-maximizing
+// backup selection against fully disjoint backups: switchover recovery time
+// should favor overlap.
+func BenchmarkAblationBackupSelection(b *testing.B) {
+	run := func(disjoint bool) (switchovers int, meanRecoveryMs float64, replacedOut, recoveriesOut int) {
+		rc := recovery.DefaultConfig()
+		rc.DisjointBackups = disjoint
+		c := cluster.New(cluster.Options{
+			Seed: 73, IPNodes: 400, Peers: 80, Recovery: &rc,
+		})
+		gen := workload.NewGenerator(workload.Config{
+			Catalog: c.FunctionsByReplicas()[:5], Peers: 80,
+			MinFuncs: 3, MaxFuncs: 3, Budget: 60,
+			DelayReqMin: 4000, DelayReqMax: 8000,
+		}, newSeededRng(73))
+		// Establish 10 sessions, then kill one component peer per session.
+		var sessions []*service.Request
+		for i := 0; i < 10; i++ {
+			req := gen.Next()
+			p := c.Peers[int(req.Source)]
+			p.Engine.Compose(req, func(res bcp.Result) {
+				if res.Ok {
+					p.Recovery.Establish(req, res)
+					sessions = append(sessions, req)
+				}
+			})
+			c.Sim.Run(c.Sim.Now() + 30*time.Second)
+		}
+		for _, req := range sessions {
+			mgr := c.Peers[int(req.Source)].Recovery
+			if s := mgr.Session(req.ID); s != nil {
+				for _, snap := range s.Active.Comps {
+					pr := snap.Comp.Peer
+					if pr != req.Source && pr != req.Dest {
+						c.Net.Fail(pr)
+						break
+					}
+				}
+			}
+		}
+		c.Sim.Run(c.Sim.Now() + 60*time.Second)
+		total, n := 0.0, 0
+		replaced, recoveries := 0, 0
+		for _, p := range c.Peers {
+			if p.Recovery == nil {
+				continue
+			}
+			st := p.Recovery.Stats()
+			switchovers += st.Switchovers
+			recoveries += st.Switchovers + st.Reactives
+			replaced += st.ComponentsReplaced
+			for _, ev := range p.Recovery.Events() {
+				if ev.Kind == recovery.EventSwitchover {
+					total += float64(ev.RecoveryTime) / float64(time.Millisecond)
+					n++
+				}
+			}
+		}
+		if n > 0 {
+			meanRecoveryMs = total / float64(n)
+		}
+		return switchovers, meanRecoveryMs, replaced, recoveries
+	}
+	for i := 0; i < b.N; i++ {
+		so, rt, rep, recov := run(false)
+		b.ReportMetric(float64(so), "switchovers-overlap")
+		b.ReportMetric(rt, "recovery-ms-overlap")
+		if recov > 0 {
+			b.ReportMetric(float64(rep)/float64(recov), "replaced/recovery-overlap")
+		}
+		so2, rt2, rep2, recov2 := run(true)
+		b.ReportMetric(float64(so2), "switchovers-disjoint")
+		b.ReportMetric(rt2, "recovery-ms-disjoint")
+		if recov2 > 0 {
+			b.ReportMetric(float64(rep2)/float64(recov2), "replaced/recovery-disjoint")
+		}
+	}
+}
+
+// BenchmarkAblationSoftReservation measures conflicting admissions with the
+// probe-time soft reservation disabled.
+func BenchmarkAblationSoftReservation(b *testing.B) {
+	run := func(disable bool) float64 {
+		cfg := bcp.DefaultConfig()
+		cfg.DisableSoftReservation = disable
+		var tiny qos.Resources
+		tiny[qos.CPU] = 1
+		tiny[qos.Memory] = 10
+		c := cluster.New(cluster.Options{
+			Seed: 74, IPNodes: 400, Peers: 50, Capacity: tiny,
+			MinComps: 1, MaxComps: 1, Catalog: []string{"a", "b", "c"},
+			BCP: cfg,
+		})
+		gen := workload.NewGenerator(workload.Config{
+			Catalog: []string{"a", "b", "c"}, Peers: 50,
+			MinFuncs: 2, MaxFuncs: 2, Budget: 12,
+			DelayReqMin: 4000, DelayReqMax: 8000, BandwidthMin: 5, BandwidthMax: 10,
+		}, newSeededRng(74))
+		// Launch bursts of concurrent requests contending for the same
+		// scarce components.
+		fails := 0
+		for burst := 0; burst < 5; burst++ {
+			for k := 0; k < 4; k++ {
+				req := gen.Next()
+				eng := c.Peers[int(req.Source)].Engine
+				eng.Compose(req, func(res bcp.Result) {
+					if !res.Ok {
+						fails++
+					} else {
+						c.Sim.Schedule(5*time.Second, func() { eng.Teardown(res.Best) })
+					}
+				})
+			}
+			c.Sim.Run(c.Sim.Now() + 60*time.Second)
+		}
+		return float64(fails)
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(run(false), "setup-failures-with-soft")
+		b.ReportMetric(run(true), "setup-failures-without")
+	}
+}
+
+// --- Microbenchmarks ----------------------------------------------------
+
+// BenchmarkBCPCompose measures one full composition on a 60-peer overlay.
+func BenchmarkBCPCompose(b *testing.B) {
+	c, gen := ablationCluster(75, bcp.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := gen.Next()
+		req.QoSReq[qos.Delay] = 5000
+		eng := c.Peers[int(req.Source)].Engine
+		eng.Compose(req, func(res bcp.Result) {
+			if res.Ok {
+				eng.Teardown(res.Best)
+			}
+		})
+		c.Sim.Run(c.Sim.Now() + 30*time.Second)
+	}
+}
+
+// BenchmarkDHTLookup measures a single decentralized discovery lookup.
+func BenchmarkDHTLookup(b *testing.B) {
+	sim := simnet.NewSim()
+	nw := simnet.NewNetwork(sim, simnet.ConstantLatency(time.Millisecond), newSeededRng(76))
+	nodes := make([]*dht.Node, 200)
+	for i := range nodes {
+		nodes[i] = dht.New(nw.AddNode(p2p.NodeID(i)), nw.Alive)
+	}
+	dht.Build(nodes)
+	nodes[0].Put(dht.Key("bench"), "x", 64)
+	sim.RunUntilIdle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[i%200].Get(dht.Key("bench"), time.Second, func([]any, int, bool) {})
+		sim.RunUntilIdle()
+	}
+}
+
+// BenchmarkPatternEnumeration measures commutation-pattern expansion.
+func BenchmarkPatternEnumeration(b *testing.B) {
+	fb := fgraph.NewBuilder()
+	for i := 0; i < 6; i++ {
+		fb.AddFunction("f" + itoa(i))
+	}
+	for i := 0; i < 5; i++ {
+		fb.AddDependency(i, i+1)
+	}
+	fb.AddCommutation(1, 2)
+	fb.AddCommutation(3, 4)
+	fb.AddCommutation(4, 5)
+	g, err := fb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.Patterns(16); len(got) < 4 {
+			b.Fatal("too few patterns")
+		}
+	}
+}
+
+// BenchmarkOverlayRoute measures overlay-layer shortest-path routing with
+// the per-source cache.
+func BenchmarkOverlayRoute(b *testing.B) {
+	rng := newSeededRng(77)
+	g := topology.GeneratePowerLaw(2000, 2, 2, 30, rng)
+	ov := topology.BuildOverlay(g, topology.OverlayConfig{NumPeers: 300, Degree: 4}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ov.Route(i%300, (i*7+1)%300); !ok {
+			b.Fatal("no route")
+		}
+	}
+}
+
+// BenchmarkCostFunction measures one ψ evaluation.
+func BenchmarkCostFunction(b *testing.B) {
+	fg := fgraph.Linear("a", "b", "c")
+	var avail qos.Resources
+	avail[qos.CPU] = 10
+	avail[qos.Memory] = 100
+	g := &service.Graph{Pattern: fg, Comps: map[int]service.Snapshot{}}
+	for i := 0; i < 3; i++ {
+		g.Comps[i] = service.Snapshot{
+			Comp:  service.Component{ID: "c" + itoa(i), Peer: p2p.NodeID(i)},
+			Avail: avail,
+		}
+		g.Links = append(g.Links, service.LinkSnapshot{FromFn: i - 1, ToFn: i, BandAvail: 1000})
+	}
+	var res qos.Resources
+	res[qos.CPU] = 1
+	res[qos.Memory] = 10
+	req := &service.Request{FGraph: fg, Res: res, Bandwidth: 100, Budget: 1}
+	w := service.DefaultWeights()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := g.Cost(w, req); c <= 0 {
+			b.Fatal("bad cost")
+		}
+	}
+}
+
+// --- helpers -------------------------------------------------------------
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+func newSeededRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,124 @@
+// Command spiderbench regenerates the figures of the SpiderNet paper's
+// evaluation (§6). Each figure prints as an aligned table with the same
+// series the paper plots.
+//
+// Usage:
+//
+//	spiderbench -fig 8            # Figure 8 at laptop scale
+//	spiderbench -fig 9 -paper     # Figure 9 at the paper's dimensions
+//	spiderbench -fig 10           # wide-area setup time (live runtime)
+//	spiderbench -fig 11           # delay vs probing budget
+//	spiderbench -fig overhead     # BCP vs centralized overhead
+//	spiderbench -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 10, 11, overhead, all")
+	paper := flag.Bool("paper", false, "use the paper's full dimensions (slow)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	flag.Parse()
+
+	writeCSV := func(name string, t *metrics.Table) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		}
+	}
+
+	run := func(name string, fn func()) {
+		fmt.Fprintf(os.Stderr, "== %s (started %s)\n", name, time.Now().Format(time.Kitchen))
+		start := time.Now()
+		fn()
+		fmt.Fprintf(os.Stderr, "== %s done in %v\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	ran := false
+
+	if want("8") {
+		ran = true
+		run("Figure 8", func() {
+			cfg := experiment.DefaultFig8Config()
+			if *paper {
+				cfg = experiment.PaperFig8Config()
+			}
+			cfg.Seed = *seed
+			res := experiment.Fig8(cfg)
+			res.Table.Render(os.Stdout)
+			writeCSV("fig8", res.Table)
+		})
+	}
+	if want("9") {
+		ran = true
+		run("Figure 9", func() {
+			cfg := experiment.DefaultFig9Config()
+			if *paper {
+				cfg = experiment.PaperFig9Config()
+			}
+			cfg.Seed = *seed
+			res := experiment.Fig9(cfg)
+			res.Table.Render(os.Stdout)
+			writeCSV("fig9", res.Table)
+			fmt.Printf("avg backups/session: %.2f  switchovers: %d  reactive: %d  unrecovered(with): %d  unrecovered(without): %d\n",
+				res.AvgBackups, res.Switchovers, res.Reactives, res.DeadWithRecovery, res.DeadWithout)
+		})
+	}
+	if want("10") {
+		ran = true
+		run("Figure 10", func() {
+			cfg := experiment.DefaultFig10Config()
+			if *paper {
+				cfg = experiment.PaperFig10Config()
+			}
+			cfg.Seed = *seed
+			res := experiment.Fig10(cfg)
+			res.Table.Render(os.Stdout)
+			writeCSV("fig10", res.Table)
+		})
+	}
+	if want("11") {
+		ran = true
+		run("Figure 11", func() {
+			cfg := experiment.DefaultFig11Config()
+			if *paper {
+				cfg = experiment.PaperFig11Config()
+			}
+			cfg.Seed = *seed
+			res := experiment.Fig11(cfg)
+			res.Table.Render(os.Stdout)
+			writeCSV("fig11", res.Table)
+		})
+	}
+	if want("overhead") {
+		ran = true
+		run("Overhead comparison", func() {
+			cfg := experiment.DefaultOverheadConfig()
+			if *paper {
+				cfg = experiment.PaperOverheadConfig()
+			}
+			cfg.Seed = *seed
+			res := experiment.Overhead(cfg)
+			res.Table.Render(os.Stdout)
+			writeCSV("overhead", res.Table)
+		})
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q; want 8, 9, 10, 11, overhead, or all\n", *fig)
+		os.Exit(2)
+	}
+}

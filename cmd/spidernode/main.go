@@ -1,0 +1,70 @@
+// Command spidernode runs a live in-process SpiderNet deployment — one
+// goroutine per peer with injected wide-area latencies, the runtime the
+// paper's PlanetLab prototype corresponds to — composes a customizable
+// video-streaming session, streams frames through it, and prints the
+// timings.
+//
+// Example:
+//
+//	spidernode -hosts 102 -functions 3 -frames 30 -speedup 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	spidernet "repro"
+)
+
+func main() {
+	var (
+		hosts    = flag.Int("hosts", 102, "number of live peers")
+		nfuncs   = flag.Int("functions", 3, "functions to compose (<=6)")
+		frames   = flag.Int("frames", 30, "video frames to stream")
+		budget   = flag.Int("budget", 20, "probing budget")
+		speedup  = flag.Float64("speedup", 10, "wide-area time compression (1 = real time)")
+		seed     = flag.Int64("seed", 1, "deployment seed")
+		requests = flag.Int("requests", 3, "compositions to run")
+	)
+	flag.Parse()
+
+	live := spidernet.NewLive(spidernet.LiveOptions{Hosts: *hosts, Seed: *seed, Speedup: *speedup})
+	defer live.Close()
+
+	var fns []string
+	for _, f := range spidernet.MediaFunctions() {
+		if live.Replicas(f) > 0 {
+			fns = append(fns, f)
+		}
+	}
+	if len(fns) < *nfuncs {
+		fmt.Fprintf(os.Stderr, "only %d functions have replicas; lower -functions\n", len(fns))
+		os.Exit(1)
+	}
+	fns = fns[:*nfuncs]
+	fmt.Printf("live deployment: %d hosts, composing %v\n\n", *hosts, fns)
+
+	for i := 0; i < *requests; i++ {
+		req := spidernet.NewRequest().
+			Functions(fns...).
+			MaxDelay(20*time.Second).
+			Bandwidth(200).
+			Budget(*budget).
+			Between(spidernet.PeerID(2*i), spidernet.PeerID(2*i+1)).
+			MustBuild()
+		res := live.Compose(req)
+		if !res.Ok {
+			fmt.Printf("request %d: no qualified composition\n", i)
+			continue
+		}
+		fmt.Printf("request %d: %s\n", i, res.Best)
+		fmt.Printf("  setup %v (discovery %v)\n",
+			live.Unscale(res.SetupTime).Round(time.Millisecond),
+			live.Unscale(res.DiscoveryTime).Round(time.Millisecond))
+		got := live.Stream(res.Best, *frames, 640, 480, 60*time.Second)
+		fmt.Printf("  streamed %d/%d frames\n", len(got), *frames)
+		live.Teardown(res.Best)
+	}
+}

@@ -1,0 +1,174 @@
+// Command spidersim runs a configurable SpiderNet simulation: it builds a
+// power-law IP network with a P2P service overlay on top, replays a stream
+// of composite service requests through the BCP protocol (with proactive
+// failure recovery under optional churn), and prints summary statistics.
+//
+// Example:
+//
+//	spidersim -peers 200 -requests 100 -budget 24 -churn 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bcp"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/recovery"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		ipNodes   = flag.Int("ipnodes", 2000, "IP-layer nodes")
+		peers     = flag.Int("peers", 200, "overlay peers")
+		functions = flag.Int("functions", 40, "function catalogue size")
+		requests  = flag.Int("requests", 100, "composition requests")
+		budget    = flag.Int("budget", 20, "probing budget per request")
+		minFuncs  = flag.Int("minfuncs", 2, "min functions per request")
+		maxFuncs  = flag.Int("maxfuncs", 4, "max functions per request")
+		churn     = flag.Float64("churn", 0, "fraction of peers failing per minute")
+		duration  = flag.Duration("duration", 5*time.Minute, "simulated duration")
+		dagProb   = flag.Float64("dag", 0.2, "probability of DAG-shaped requests")
+		commute   = flag.Float64("commute", 0.2, "probability of commutation links")
+		specFile  = flag.String("spec", "", "compose a single request from a QoSTalk-style XML spec file")
+	)
+	flag.Parse()
+
+	if *specFile != "" {
+		composeSpec(*specFile, *seed, *ipNodes, *peers, *functions)
+		return
+	}
+
+	recCfg := recovery.DefaultConfig()
+	c := cluster.New(cluster.Options{
+		Seed:     *seed,
+		IPNodes:  *ipNodes,
+		Peers:    *peers,
+		Catalog:  catalog(*functions),
+		Recovery: &recCfg,
+	})
+	gen := workload.NewGenerator(workload.Config{
+		Catalog:     catalog(*functions),
+		Peers:       *peers,
+		MinFuncs:    *minFuncs,
+		MaxFuncs:    *maxFuncs,
+		Budget:      *budget,
+		DAGProb:     *dagProb,
+		CommuteProb: *commute,
+		DelayReqMin: 500,
+		DelayReqMax: 2000,
+	}, c.Rng)
+
+	var ok metrics.Ratio
+	var setup, discovery metrics.Sample
+	for i := 0; i < *requests; i++ {
+		req := gen.Next()
+		at := time.Duration(float64(*duration) * c.Rng.Float64() * 0.8)
+		c.Sim.Schedule(at-c.Sim.Now(), func() {
+			if at < c.Sim.Now() {
+				return
+			}
+			p := c.Peers[int(req.Source)]
+			p.Engine.Compose(req, func(res bcp.Result) {
+				ok.Add(res.Ok)
+				if res.Ok {
+					setup.AddDuration(res.SetupTime)
+					discovery.AddDuration(res.DiscoveryTime)
+					p.Recovery.Establish(req, res)
+				}
+			})
+		})
+	}
+	if *churn > 0 {
+		for m := time.Minute; m < *duration; m += time.Minute {
+			c.Sim.Schedule(m, func() {
+				for _, id := range c.FailFraction(*churn) {
+					id := id
+					c.Sim.Schedule(2*time.Minute, func() { c.Net.Recover(id) })
+				}
+			})
+		}
+	}
+	c.Sim.Run(*duration)
+
+	st := c.Net.Stats()
+	var rec recovery.Stats
+	for _, p := range c.Peers {
+		s := p.Recovery.Stats()
+		rec.FailuresDetected += s.FailuresDetected
+		rec.Switchovers += s.Switchovers
+		rec.Reactives += s.Reactives
+		rec.Dead += s.Dead
+	}
+
+	t := metrics.NewTable(fmt.Sprintf("spidersim: %d peers on %d IP nodes, %d requests, budget %d",
+		*peers, *ipNodes, *requests, *budget), "metric", "value")
+	t.AddRow("success ratio", ok.Value())
+	t.AddRow("avg setup time", time.Duration(setup.Mean()*float64(time.Millisecond)))
+	t.AddRow("avg discovery time", time.Duration(discovery.Mean()*float64(time.Millisecond)))
+	t.AddRow("messages sent", st.MessagesSent)
+	t.AddRow("bytes sent", st.BytesSent)
+	t.AddRow("probes sent", st.ByType[bcp.MsgProbe])
+	t.AddRow("failures detected", rec.FailuresDetected)
+	t.AddRow("switchovers", rec.Switchovers)
+	t.AddRow("reactive recoveries", rec.Reactives)
+	t.AddRow("unrecovered failures", rec.Dead)
+	t.Render(os.Stdout)
+}
+
+// composeSpec parses one XML composite-service spec, binds random
+// endpoints, and composes it on a fresh deployment.
+func composeSpec(path string, seed int64, ipNodes, peers, functions int) {
+	req, err := spec.ParseFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	c := cluster.New(cluster.Options{
+		Seed: seed, IPNodes: ipNodes, Peers: peers, Catalog: catalog(functions),
+	})
+	// Deploy the spec's functions too, in case the catalogue lacks them.
+	missing := map[string]bool{}
+	for _, fn := range req.FGraph.Functions() {
+		if c.Replicas(fn) == 0 {
+			missing[fn] = true
+		}
+	}
+	for fn := range missing {
+		for i := 0; i < 3; i++ {
+			c.Join([]string{fn}, 0)
+		}
+	}
+	c.Sim.Run(c.Sim.Now() + 30*time.Second)
+
+	req.ID = 1
+	req.Source, req.Dest = 0, 1
+	done := false
+	c.Peers[0].Engine.Compose(req, func(res bcp.Result) {
+		done = true
+		if !res.Ok {
+			fmt.Println("no qualified composition")
+			return
+		}
+		fmt.Printf("composed: %s\nQoS: %s\nbackups: %d\nsetup: %v (discovery %v)\n",
+			res.Best, res.Best.QoS, len(res.Backups), res.SetupTime, res.DiscoveryTime)
+	})
+	c.Sim.Run(c.Sim.Now() + 120*time.Second)
+	if !done {
+		fmt.Println("composition never completed")
+	}
+}
+
+func catalog(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("fn%d", i)
+	}
+	return out
+}

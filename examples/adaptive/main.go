@@ -1,0 +1,53 @@
+// Adaptive: alternative-variant composition (the paper's §8 future-work
+// "conditional branch" semantics, implemented as request variants). A
+// receiver asks for an HD pipeline — 4K upscaling plus a stock ticker —
+// but names an SD fallback (downscale + requantize) that also satisfies
+// it. BCP probes both shapes under one budget; when the HD chain cannot
+// qualify (nobody provides the 4K function), the SD variant is composed
+// instead.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	spidernet "repro"
+)
+
+func main() {
+	net := spidernet.NewSim(spidernet.SimOptions{
+		Seed:    31,
+		Peers:   80,
+		Catalog: spidernet.MediaFunctions(),
+	})
+
+	compose := func(label string, req *spidernet.Request) {
+		res := net.Compose(req)
+		if !res.Ok {
+			fmt.Printf("%s: no qualified composition\n", label)
+			return
+		}
+		fmt.Printf("%s: composed %d-function graph: %s (delay %.0fms)\n",
+			label, res.Best.Pattern.NumFunctions(), res.Best, res.Best.QoS[0])
+		net.Teardown(res.Best)
+	}
+
+	// Both shapes feasible: the primary (HD) wins whenever it qualifies.
+	compose("both feasible", spidernet.NewRequest().
+		Functions("upscale", "stock-ticker").
+		Alternative("downscale", "requant").
+		MaxDelay(2*time.Second).
+		Budget(32).
+		Between(0, 1).
+		MustBuild())
+
+	// The primary names a function nobody in this overlay provides: only
+	// the SD fallback can be built.
+	compose("HD infeasible", spidernet.NewRequest().
+		Functions("upscale-4k", "stock-ticker").
+		Alternative("downscale", "requant").
+		MaxDelay(2*time.Second).
+		Budget(32).
+		Between(0, 1).
+		MustBuild())
+}

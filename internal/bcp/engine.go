@@ -1,0 +1,596 @@
+// Package bcp implements SpiderNet's bounded composition probing protocol
+// (§4 of the paper), the decentralized QoS-aware service composition used at
+// session-setup time. A source spawns a budget-bounded number of probes that
+// walk candidate service graphs hop by hop, soft-reserving resources and
+// recording QoS/resource snapshots; the destination collects the probes,
+// merges DAG branches, filters qualified service graphs against the user's
+// requirements, picks the minimum-ψ graph for load balance, and confirms it
+// with a reverse-path acknowledgement that hardens the reservations.
+package bcp
+
+import (
+	"time"
+
+	"repro/internal/p2p"
+	"repro/internal/qos"
+	"repro/internal/registry"
+	"repro/internal/service"
+)
+
+// Protocol message types.
+const (
+	MsgProbe    = "bcp.probe"
+	MsgReport   = "bcp.report"
+	MsgAck      = "bcp.ack"
+	MsgChosen   = "bcp.chosen"
+	MsgResult   = "bcp.result"
+	MsgFail     = "bcp.fail"
+	MsgTeardown = "bcp.teardown"
+)
+
+// Config tunes protocol timers and bounds. The zero value is unusable; use
+// DefaultConfig.
+type Config struct {
+	// SoftTimeout is how long a probe's temporary resource reservation is
+	// held before it self-cancels (§4.2 step 2.1).
+	SoftTimeout time.Duration
+	// CollectTimeout is the base duration the destination waits for probes
+	// of one request before running optimal composition selection (§4.3).
+	// The effective window grows by CollectPerHop for every function in the
+	// request, since probes for deeper graphs spend longer in flight.
+	CollectTimeout time.Duration
+	// CollectPerHop extends the collection window per function node.
+	CollectPerHop time.Duration
+	// DiscoveryTimeout bounds each DHT lookup during the discovery phase.
+	DiscoveryTimeout time.Duration
+	// CacheTTL is how long a peer trusts a cached function→duplicates list.
+	CacheTTL time.Duration
+	// MaxPatterns caps the commutation-induced composition patterns
+	// explored per request.
+	MaxPatterns int
+	// MaxBranches caps the DAG branch paths enumerated per pattern.
+	MaxBranches int
+	// MaxCandidates caps the merged candidate service graphs evaluated at
+	// the destination.
+	MaxCandidates int
+	// MaxBackups caps the number of qualified backup graphs returned to the
+	// source for proactive failure recovery.
+	MaxBackups int
+	// GiveUpTimeout bounds the sender's total wait for a composition
+	// outcome; if every probe dies en route no destination collector ever
+	// answers, and this timer converts silence into a failed Result.
+	GiveUpTimeout time.Duration
+	// DisableCommutation turns off pattern exploration (ablation).
+	DisableCommutation bool
+	// RandomNextHop replaces the composite next-hop selection metric with a
+	// uniformly random pick (ablation).
+	RandomNextHop bool
+	// DisableSoftReservation skips the temporary resource allocation at
+	// probe time (ablation; exposes conflicting admissions).
+	DisableSoftReservation bool
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		SoftTimeout:      4 * time.Second,
+		CollectTimeout:   1200 * time.Millisecond,
+		CollectPerHop:    400 * time.Millisecond,
+		DiscoveryTimeout: 2 * time.Second,
+		CacheTTL:         30 * time.Second,
+		MaxPatterns:      4,
+		MaxBranches:      8,
+		MaxCandidates:    256,
+		MaxBackups:       8,
+		GiveUpTimeout:    10 * time.Second,
+	}
+}
+
+// Oracle answers local questions about the data plane: the overlay path a
+// service link would map onto, and bandwidth admission on it. It abstracts
+// the peer's view of its overlay connections; the simulation backs it with
+// internal/topology, the live runtime with its latency model.
+type Oracle interface {
+	// Path returns the overlay path latency (ms) and bottleneck available
+	// bandwidth (kbps) between two peers, ok=false if disconnected.
+	Path(a, b p2p.NodeID) (latencyMs, bandAvail float64, ok bool)
+	// AllocBandwidth reserves kbps on the overlay path between a and b.
+	AllocBandwidth(a, b p2p.NodeID, kbps float64) bool
+	// ReleaseBandwidth returns kbps to the overlay path between a and b.
+	ReleaseBandwidth(a, b p2p.NodeID, kbps float64)
+}
+
+// Result is delivered to the source's callback when composition finishes.
+type Result struct {
+	ReqID   uint64
+	Ok      bool
+	Best    *service.Graph   // established service graph (nil if !Ok)
+	Backups []*service.Graph // other qualified graphs, best-first
+	// Setup-time breakdown (Fig. 10): discovery, probing+selection, and
+	// reverse-path session initialization.
+	DiscoveryTime time.Duration
+	ProbeTime     time.Duration
+	SetupTime     time.Duration
+}
+
+// Engine is one peer's BCP participant: it hosts components, processes
+// probes, runs the destination collector when it is a request's receiver,
+// and initiates composition when it is a sender.
+type Engine struct {
+	host   p2p.Node
+	ledger *qos.Ledger
+	reg    *registry.Registry
+	oracle Oracle
+	cfg    Config
+
+	local []service.Component // components hosted on this peer
+
+	collectors map[uint64]*collector
+	pending    map[uint64]*composeState
+	soft       map[softKey]*softHold
+	cache      map[string]cacheEntry
+
+	// Session-scoped allocation registries. Commits and bandwidth
+	// admissions are idempotent per key, and releases free exactly what
+	// this peer registered — so a switchover to an overlapping backup graph
+	// keeps shared components running, and tearing down a partially set-up
+	// graph never frees another session's resources.
+	hard map[softKey]qos.Resources
+	bws  map[allocKey]float64
+
+	// Weights for the ψ cost function used at selection time.
+	Weights service.Weights
+	// SelectByDelay switches optimal composition selection from the
+	// load-balancing ψ objective to minimum end-to-end delay, the objective
+	// of the paper's Figure 11 experiment.
+	SelectByDelay bool
+	// Trust, when non-nil, makes next-hop selection trust-aware (the
+	// paper's future-work extension): candidates on peers scoring below
+	// MinTrust are excluded and lower-trust peers are penalized in the
+	// composite metric.
+	Trust TrustOracle
+	// MinTrust is the exclusion threshold used when Trust is set.
+	MinTrust float64
+}
+
+// TrustOracle scores a peer's trustworthiness in [0,1]; 0.5 is neutral.
+// Implemented by internal/trust.Manager.
+type TrustOracle interface {
+	Score(p p2p.NodeID) float64
+}
+
+type softKey struct {
+	reqID  uint64
+	compID string
+}
+
+type allocKey struct {
+	reqID uint64
+	a, b  p2p.NodeID
+}
+
+type softHold struct {
+	res    qos.Resources
+	cancel p2p.CancelFunc
+}
+
+type cacheEntry struct {
+	comps   []service.Component
+	expires time.Duration
+}
+
+type composeState struct {
+	req       *service.Request
+	cb        func(Result)
+	started   time.Duration
+	discovery time.Duration
+	probesOut time.Duration
+	giveUp    p2p.CancelFunc
+	// chosen is the graph the destination selected, learned from MsgChosen
+	// in parallel with the reverse ACK. If the ACK chain dies on a failed
+	// peer, the give-up path tears this graph down so the peers that did
+	// commit release their allocations.
+	chosen *service.Graph
+}
+
+// NewEngine creates the BCP engine for one peer and registers its message
+// handlers. ledger tracks this peer's end-system resources; local lists the
+// components it hosts (they must already be registered with reg by the
+// caller).
+func NewEngine(host p2p.Node, ledger *qos.Ledger, reg *registry.Registry, oracle Oracle, local []service.Component, cfg Config) *Engine {
+	e := &Engine{
+		host:       host,
+		ledger:     ledger,
+		reg:        reg,
+		oracle:     oracle,
+		cfg:        cfg,
+		local:      local,
+		collectors: make(map[uint64]*collector),
+		pending:    make(map[uint64]*composeState),
+		soft:       make(map[softKey]*softHold),
+		cache:      make(map[string]cacheEntry),
+		hard:       make(map[softKey]qos.Resources),
+		bws:        make(map[allocKey]float64),
+		Weights:    service.DefaultWeights(),
+	}
+	host.Handle(MsgProbe, e.onProbe)
+	host.Handle(MsgReport, e.onReport)
+	host.Handle(MsgAck, e.onAck)
+	host.Handle(MsgChosen, e.onChosen)
+	host.Handle(MsgResult, e.onResult)
+	host.Handle(MsgFail, e.onFail)
+	host.Handle(MsgTeardown, e.onTeardown)
+	return e
+}
+
+// Host returns the underlying transport node.
+func (e *Engine) Host() p2p.Node { return e.host }
+
+// Ledger returns this peer's resource ledger.
+func (e *Engine) Ledger() *qos.Ledger { return e.ledger }
+
+// LocalComponents returns the components hosted on this peer.
+func (e *Engine) LocalComponents() []service.Component { return e.local }
+
+// LocalComponent finds a hosted component by ID, reporting whether this
+// peer still hosts it.
+func (e *Engine) LocalComponent(id string) (service.Component, bool) {
+	return e.localComponent(id)
+}
+
+// localComponent finds a hosted component by ID.
+func (e *Engine) localComponent(id string) (service.Component, bool) {
+	for _, c := range e.local {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return service.Component{}, false
+}
+
+// Compose initiates QoS-aware service composition for req from this peer
+// (the application sender). cb fires exactly once with the outcome. The
+// phases: (1) decentralized discovery of all required functions, (2) bounded
+// composition probing, (3) destination-side optimal selection, (4)
+// reverse-path session setup.
+func (e *Engine) Compose(req *service.Request, cb func(Result)) {
+	if err := req.Validate(); err != nil {
+		cb(Result{ReqID: req.ID, Ok: false})
+		return
+	}
+	st := &composeState{req: req, cb: cb, started: e.host.Now()}
+	e.pending[req.ID] = st
+	st.giveUp = e.host.After(e.cfg.GiveUpTimeout, func() {
+		if cur, ok := e.pending[req.ID]; ok && cur == st {
+			delete(e.pending, req.ID)
+			// Release whatever a broken ACK chain already committed.
+			e.Teardown(st.chosen)
+			cb(Result{
+				ReqID:         req.ID,
+				Ok:            false,
+				DiscoveryTime: st.discovery,
+				SetupTime:     e.host.Now() - st.started,
+			})
+		}
+	})
+
+	fns := req.FGraph.Functions()
+	for _, v := range req.Variants {
+		fns = append(fns, v.Functions()...)
+	}
+	e.discoverAllCached(fns, func(table registry.Table, ok bool) {
+		st.discovery = e.host.Now() - st.started
+		if !ok {
+			delete(e.pending, req.ID)
+			st.giveUp()
+			cb(Result{ReqID: req.ID, Ok: false, DiscoveryTime: st.discovery})
+			return
+		}
+		e.launchProbes(st, table)
+	})
+}
+
+// discoverAllCached resolves function duplicate lists through the local
+// cache, falling back to DHT lookups.
+func (e *Engine) discoverAllCached(fns []string, cb func(registry.Table, bool)) {
+	table := make(registry.Table, len(fns))
+	var missing []string
+	now := e.host.Now()
+	for _, f := range fns {
+		if ce, ok := e.cache[f]; ok && ce.expires > now {
+			table[f] = ce.comps
+		} else {
+			missing = append(missing, f)
+		}
+	}
+	if len(missing) == 0 {
+		cb(table, true)
+		return
+	}
+	e.reg.DiscoverAll(missing, e.cfg.DiscoveryTimeout, func(t registry.Table, ok bool) {
+		if !ok {
+			cb(nil, false)
+			return
+		}
+		for f, comps := range t {
+			e.cache[f] = cacheEntry{comps: comps, expires: e.host.Now() + e.cfg.CacheTTL}
+			table[f] = comps
+		}
+		cb(table, true)
+	})
+}
+
+// primaryPatternCap returns the pattern cap used for the primary function
+// graph (mirrors launchProbes so selection can tell primary candidates from
+// variant fallbacks).
+func (e *Engine) primaryPatternCap() int {
+	if e.cfg.DisableCommutation {
+		return 1
+	}
+	return e.cfg.MaxPatterns
+}
+
+// launchProbes splits the probing budget over composition patterns and
+// source functions and emits the initial probes (§4.1 step 1).
+func (e *Engine) launchProbes(st *composeState, table registry.Table) {
+	req := st.req
+	maxPat := e.cfg.MaxPatterns
+	if e.cfg.DisableCommutation {
+		maxPat = 1
+	}
+	// Composition patterns come from the primary function graph's
+	// commutation links plus any alternative variants the request names
+	// (conditional-branch semantics): all are probed, and selection picks
+	// the best qualified graph across every shape.
+	patterns := req.FGraph.Patterns(maxPat)
+	for _, v := range req.Variants {
+		patterns = append(patterns, v.Patterns(maxPat)...)
+	}
+	budgetPer := req.Budget / len(patterns)
+	if budgetPer < 1 {
+		budgetPer = 1
+		patterns = patterns[:req.Budget] // fewer patterns than budget units
+	}
+	launched := false
+	for pi, pat := range patterns {
+		pr := Probe{
+			ReqID:      req.ID,
+			Req:        req,
+			PatternIdx: pi,
+			Pattern:    pat,
+			Budget:     budgetPer,
+		}
+		if e.spawnNext(pr, pat.Sources(), service.Component{}, table) {
+			launched = true
+		}
+	}
+	st.probesOut = e.host.Now()
+	if !launched {
+		// Nothing to probe (e.g. no duplicates found for a source function):
+		// fail fast.
+		delete(e.pending, req.ID)
+		st.giveUp()
+		st.cb(Result{ReqID: req.ID, Ok: false, DiscoveryTime: st.discovery})
+	}
+}
+
+// onChosen records which graph the destination is confirming, so the
+// give-up path can release a partially committed session.
+func (e *Engine) onChosen(_ p2p.Node, msg p2p.Message) {
+	ch := msg.Payload.(chosenMsg)
+	if st, ok := e.pending[ch.ReqID]; ok {
+		st.chosen = ch.Graph
+	}
+}
+
+type chosenMsg struct {
+	ReqID uint64
+	Graph *service.Graph
+}
+
+// onResult delivers the final outcome to the waiting source callback.
+func (e *Engine) onResult(_ p2p.Node, msg p2p.Message) {
+	res := msg.Payload.(Result)
+	st, ok := e.pending[res.ReqID]
+	if !ok {
+		// The sender already gave up (or never asked): a successfully set-up
+		// session nobody is waiting for must be released.
+		if res.Ok {
+			e.Teardown(res.Best)
+		}
+		return
+	}
+	delete(e.pending, res.ReqID)
+	st.giveUp()
+	res.DiscoveryTime = st.discovery
+	res.ProbeTime = st.probesOut - st.started
+	res.SetupTime = e.host.Now() - st.started
+	if res.Ok {
+		// Admit the ingress service links (sender → the components serving
+		// the pattern's source functions). Best-effort: the stream degrades
+		// rather than aborts if the sender's own uplink is saturated.
+		for _, fn := range res.Best.Pattern.Sources() {
+			if s, ok := res.Best.Comps[fn]; ok {
+				e.AllocSessionBandwidth(st.req.ID, s.Comp.Peer, st.req.Bandwidth)
+			}
+		}
+	}
+	st.cb(res)
+}
+
+// onFail handles a mid-ACK commit failure: the source gives up and tears
+// down whatever was committed.
+func (e *Engine) onFail(_ p2p.Node, msg p2p.Message) {
+	f := msg.Payload.(failMsg)
+	st, ok := e.pending[f.ReqID]
+	if !ok {
+		return
+	}
+	delete(e.pending, f.ReqID)
+	st.giveUp()
+	e.Teardown(f.Graph)
+	st.cb(Result{
+		ReqID:         f.ReqID,
+		Ok:            false,
+		DiscoveryTime: st.discovery,
+		ProbeTime:     st.probesOut - st.started,
+		SetupTime:     e.host.Now() - st.started,
+	})
+}
+
+type failMsg struct {
+	ReqID uint64
+	Graph *service.Graph
+}
+
+// teardownMsg releases one peer's registered allocations for graph Release,
+// except those also needed by Keep (nil = release everything).
+type teardownMsg struct {
+	Release *service.Graph
+	Keep    *service.Graph
+}
+
+// Teardown releases the session's hard resource and bandwidth reservations
+// across all peers of the graph. The caller is typically the source, at
+// session end or when abandoning a failed setup.
+func (e *Engine) Teardown(g *service.Graph) { e.TeardownExcept(g, nil) }
+
+// TeardownExcept releases old's allocations except those shared with keep —
+// the switchover primitive of proactive failure recovery: components and
+// links the backup graph reuses keep running.
+func (e *Engine) TeardownExcept(old, keep *service.Graph) {
+	if old == nil {
+		return
+	}
+	e.releaseLocal(old, keep)
+	sent := make(map[p2p.NodeID]bool)
+	for _, s := range old.Comps {
+		p := s.Comp.Peer
+		if p == e.host.ID() || sent[p] {
+			continue
+		}
+		sent[p] = true
+		e.host.Send(p2p.Message{
+			Type: MsgTeardown, To: p, Size: 96,
+			Payload: teardownMsg{Release: old, Keep: keep},
+		})
+	}
+}
+
+func (e *Engine) onTeardown(_ p2p.Node, msg p2p.Message) {
+	tm := msg.Payload.(teardownMsg)
+	e.releaseLocal(tm.Release, tm.Keep)
+}
+
+// CommitSession hardens this peer's allocation for one component of a
+// session: a live soft reservation is committed, otherwise admission is
+// attempted directly. The operation is idempotent per (request, component),
+// so a backup graph sharing the component with the broken graph re-commits
+// for free.
+func (e *Engine) CommitSession(reqID uint64, compID string, res qos.Resources) bool {
+	key := softKey{reqID: reqID, compID: compID}
+	if _, ok := e.hard[key]; ok {
+		return true
+	}
+	if h, ok := e.soft[key]; ok {
+		delete(e.soft, key)
+		h.cancel()
+		e.ledger.Commit(res)
+		e.hard[key] = res
+		return true
+	}
+	if !e.ledger.CommitDirect(res) {
+		return false
+	}
+	e.hard[key] = res
+	return true
+}
+
+// AllocSessionBandwidth admits a session's bandwidth on the overlay path
+// from this peer to b, idempotently per (request, endpoint pair).
+func (e *Engine) AllocSessionBandwidth(reqID uint64, b p2p.NodeID, kbps float64) bool {
+	key := allocKey{reqID: reqID, a: e.host.ID(), b: b}
+	if _, ok := e.bws[key]; ok {
+		return true
+	}
+	if !e.oracle.AllocBandwidth(e.host.ID(), b, kbps) {
+		return false
+	}
+	e.bws[key] = kbps
+	return true
+}
+
+// releaseLocal frees this peer's registered allocations for graph g, except
+// those keep still needs. Only registered allocations are freed, so double
+// teardowns and partially set-up graphs are safe.
+func (e *Engine) releaseLocal(g, keep *service.Graph) {
+	req := reqFromGraph(g)
+	self := e.host.ID()
+	for _, s := range g.Comps {
+		if s.Comp.Peer != self {
+			continue
+		}
+		if keep != nil && keep.Contains(s.Comp.ID) {
+			continue
+		}
+		key := softKey{reqID: req.ID, compID: s.Comp.ID}
+		if res, ok := e.hard[key]; ok {
+			e.ledger.Free(res)
+			delete(e.hard, key)
+		}
+	}
+	keepPairs := make(map[allocKey]bool)
+	if keep != nil {
+		for _, pair := range sessionPairs(keep, self) {
+			keepPairs[pair] = true
+		}
+	}
+	for _, pair := range sessionPairs(g, self) {
+		if keepPairs[pair] {
+			continue
+		}
+		if kbps, ok := e.bws[pair]; ok {
+			e.oracle.ReleaseBandwidth(pair.a, pair.b, kbps)
+			delete(e.bws, pair)
+		}
+	}
+}
+
+// sessionPairs lists the overlay endpoint pairs peer self allocates for
+// graph g: outgoing service links of its hosted components, the egress link
+// of sink components, and — when self is the sender — the ingress links.
+func sessionPairs(g *service.Graph, self p2p.NodeID) []allocKey {
+	req := reqFromGraph(g)
+	var out []allocKey
+	for fn, s := range g.Comps {
+		if s.Comp.Peer != self {
+			continue
+		}
+		succs := g.Pattern.Successors(fn)
+		if len(succs) == 0 {
+			out = append(out, allocKey{reqID: req.ID, a: self, b: req.Dest})
+		}
+		for _, succ := range succs {
+			if next, ok := g.Comps[succ]; ok {
+				out = append(out, allocKey{reqID: req.ID, a: self, b: next.Comp.Peer})
+			}
+		}
+	}
+	if self == req.Source {
+		for _, fn := range g.Pattern.Sources() {
+			if s, ok := g.Comps[fn]; ok {
+				out = append(out, allocKey{reqID: req.ID, a: self, b: s.Comp.Peer})
+			}
+		}
+	}
+	return out
+}
+
+// reqFromGraph recovers the per-component requirement attached to the graph
+// when it was selected (stored by the collector).
+func reqFromGraph(g *service.Graph) *service.Request {
+	if g.Req != nil {
+		return g.Req
+	}
+	return &service.Request{}
+}

@@ -1,0 +1,324 @@
+package bcp
+
+import (
+	"sort"
+
+	"repro/internal/fgraph"
+	"repro/internal/p2p"
+	"repro/internal/qos"
+	"repro/internal/registry"
+	"repro/internal/service"
+)
+
+// Probe is the composition probing message (§4.1 step 1). Each probe walks
+// one branch of one composition pattern, accumulating per-hop QoS and
+// resource snapshots.
+type Probe struct {
+	ReqID      uint64
+	Req        *service.Request
+	PatternIdx int
+	Pattern    *fgraph.Graph
+	Budget     int // remaining probing budget carried by this probe
+
+	CurFn     int    // function index this probe is being sent to examine
+	CurCompID string // chosen component for CurFn on the receiving peer
+
+	Visited []Hop
+	Links   []service.LinkSnapshot
+	QoS     qos.Vector
+}
+
+// Hop is one probed (function, component, availability) record.
+type Hop struct {
+	Fn   int
+	Snap service.Snapshot
+}
+
+const (
+	probeBaseSize   = 128
+	probePerHopSize = 64
+)
+
+func probeSize(p Probe) int { return probeBaseSize + probePerHopSize*len(p.Visited) }
+
+// lastComp returns the most recently visited component (zero value at the
+// source).
+func (p *Probe) lastComp() service.Component {
+	if len(p.Visited) == 0 {
+		return service.Component{}
+	}
+	return p.Visited[len(p.Visited)-1].Snap.Comp
+}
+
+func (p *Probe) visitedComp(id string) bool {
+	for _, h := range p.Visited {
+		if h.Snap.Comp.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Probe) prevFn() int {
+	if len(p.Visited) == 0 {
+		return -1
+	}
+	return p.Visited[len(p.Visited)-1].Fn
+}
+
+// onProbe is the per-hop probe processing of §4.2.
+func (e *Engine) onProbe(_ p2p.Node, msg p2p.Message) {
+	pr := msg.Payload.(Probe)
+	req := pr.Req
+
+	// The component the probe came to examine must still be hosted here
+	// (discovery meta-data can be stale in a churning overlay).
+	comp, ok := e.localComponent(pr.CurCompID)
+	if !ok {
+		return
+	}
+
+	// Step 2.1a: account the incoming service link and this component's
+	// performance quality, then check the user's accumulated QoS bounds.
+	lat, band, ok := e.oracle.Path(msg.From, e.host.ID())
+	if !ok || band < req.Bandwidth {
+		return // link cannot carry the stream; drop the probe
+	}
+	var linkQoS qos.Vector
+	linkQoS[qos.Delay] = lat
+	pr.QoS = pr.QoS.Add(linkQoS).Add(comp.Qp)
+	if !pr.QoS.Satisfies(req.QoSReq) {
+		return // requirements already violated; drop immediately
+	}
+
+	// Step 2.1b: resource check and soft allocation, guarding against
+	// conflicting admission by concurrent probes.
+	if !e.holdSoft(pr.ReqID, comp.ID, req.Res) {
+		return
+	}
+
+	// Step 2.4 (for this hop): record local QoS and resource states.
+	pr.Links = append(pr.Links, service.LinkSnapshot{
+		FromFn: pr.prevFn(), ToFn: pr.CurFn, BandAvail: band, Latency: lat,
+	})
+	pr.Visited = append(pr.Visited, Hop{
+		Fn:   pr.CurFn,
+		Snap: service.Snapshot{Comp: comp, Avail: e.ledger.AvailableHard()},
+	})
+
+	succs := pr.Pattern.Successors(pr.CurFn)
+	if len(succs) == 0 {
+		// Branch complete: account the egress link and report to the
+		// destination for optimal composition selection.
+		elat, eband, ok := e.oracle.Path(e.host.ID(), req.Dest)
+		if !ok || eband < req.Bandwidth {
+			return
+		}
+		var egress qos.Vector
+		egress[qos.Delay] = elat
+		pr.QoS = pr.QoS.Add(egress)
+		if !pr.QoS.Satisfies(req.QoSReq) {
+			return
+		}
+		pr.Links = append(pr.Links, service.LinkSnapshot{
+			FromFn: pr.CurFn, ToFn: -1, BandAvail: eband, Latency: elat,
+		})
+		e.host.Send(p2p.Message{Type: MsgReport, To: req.Dest, Size: probeSize(pr), Payload: pr})
+		return
+	}
+
+	// Steps 2.2–2.3: derive next-hop functions and select next-hop
+	// components, after resolving their duplicate lists through this peer's
+	// discovery cache.
+	names := make([]string, len(succs))
+	for i, s := range succs {
+		names[i] = pr.Pattern.Function(s)
+	}
+	e.discoverAllCached(names, func(table registry.Table, ok bool) {
+		if !ok {
+			return
+		}
+		e.spawnNext(pr, succs, comp, table)
+	})
+}
+
+// holdSoft makes (or re-confirms) the temporary resource reservation for one
+// (request, component) pair. The reservation self-cancels after SoftTimeout
+// unless an ACK commits it first.
+func (e *Engine) holdSoft(reqID uint64, compID string, res qos.Resources) bool {
+	if e.cfg.DisableSoftReservation {
+		return res.Fits(e.ledger.Available())
+	}
+	key := softKey{reqID: reqID, compID: compID}
+	if _, held := e.soft[key]; held {
+		return true // a sibling probe of the same request already holds it
+	}
+	if !e.ledger.Reserve(res) {
+		return false
+	}
+	h := &softHold{res: res}
+	h.cancel = e.host.After(e.cfg.SoftTimeout, func() {
+		if cur, ok := e.soft[key]; ok && cur == h {
+			delete(e.soft, key)
+			e.ledger.Release(res)
+		}
+	})
+	e.soft[key] = h
+	return true
+}
+
+// spawnNext implements steps 2.2–2.4: distribute the budget over next-hop
+// functions by probing quota, pick the most promising duplicates for each,
+// and emit new probes. It returns true if at least one probe was sent.
+func (e *Engine) spawnNext(pr Probe, nextFns []int, prevComp service.Component, table registry.Table) bool {
+	req := pr.Req
+	// Probing quotas: explicit per-request quota, else replica-proportional.
+	quota := func(fn int) int {
+		if req.Quota != nil {
+			if q := req.Quota[fn]; q > 0 {
+				return q
+			}
+			return 1
+		}
+		z := len(table[pr.Pattern.Function(fn)])
+		if z < 1 {
+			z = 1
+		}
+		return z
+	}
+	totalQuota := 0
+	for _, fn := range nextFns {
+		totalQuota += quota(fn)
+	}
+	if totalQuota == 0 {
+		return false
+	}
+
+	sent := false
+	remaining := pr.Budget
+	for i, fn := range nextFns {
+		// Proportional split with a floor of 1 so every DAG branch stays
+		// probed; the last function absorbs rounding remainder.
+		var bk int
+		if i == len(nextFns)-1 {
+			bk = remaining
+		} else {
+			bk = pr.Budget * quota(fn) / totalQuota
+			if bk < 1 {
+				bk = 1
+			}
+			if bk > remaining {
+				bk = remaining
+			}
+		}
+		remaining -= bk
+		if bk < 1 {
+			bk = 1
+		}
+
+		cands := e.eligible(table[pr.Pattern.Function(fn)], prevComp, &pr)
+		if len(cands) == 0 {
+			continue
+		}
+		ik := min3(bk, quota(fn), len(cands))
+		chosen := e.pickNextHop(cands, ik, req)
+		newBudget := bk / ik
+		if newBudget < 1 {
+			newBudget = 1
+		}
+		for _, c := range chosen {
+			np := pr
+			np.Budget = newBudget
+			np.CurFn = fn
+			np.CurCompID = c.ID
+			// Visited/Links slices are shared by value-copy; appends in the
+			// receiver re-slice safely only if capacity isn't shared. Force
+			// copies to keep sibling probes independent.
+			np.Visited = append([]Hop(nil), pr.Visited...)
+			np.Links = append([]service.LinkSnapshot(nil), pr.Links...)
+			e.host.Send(p2p.Message{Type: MsgProbe, To: c.Peer, Size: probeSize(np), Payload: np})
+			sent = true
+		}
+	}
+	return sent
+}
+
+// eligible filters a duplicate list down to components this probe may visit
+// next: format-compatible with the previous hop and not already visited.
+func (e *Engine) eligible(cands []service.Component, prevComp service.Component, pr *Probe) []service.Component {
+	out := make([]service.Component, 0, len(cands))
+	for _, c := range cands {
+		if prevComp.ID != "" && !service.Compatible(prevComp, c) {
+			continue
+		}
+		if pr.visitedComp(c.ID) {
+			continue
+		}
+		if e.Trust != nil && e.Trust.Score(c.Peer) < e.MinTrust {
+			continue // secure composition: skip distrusted hosts
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// pickNextHop selects the k most promising candidates using the composite
+// local metric of step 2.3: network delay to the candidate, bandwidth
+// headroom on the path, and the candidate peer's failure probability.
+func (e *Engine) pickNextHop(cands []service.Component, k int, req *service.Request) []service.Component {
+	if k >= len(cands) {
+		return cands
+	}
+	if e.cfg.RandomNextHop {
+		idx := e.host.Rand().Perm(len(cands))[:k]
+		out := make([]service.Component, k)
+		for i, j := range idx {
+			out[i] = cands[j]
+		}
+		return out
+	}
+	type scored struct {
+		c     service.Component
+		score float64
+	}
+	ss := make([]scored, len(cands))
+	for i, c := range cands {
+		lat, band, ok := e.oracle.Path(e.host.ID(), c.Peer)
+		score := c.FailProb * 20
+		if !ok {
+			score += 1e9
+		} else {
+			score += lat / 50
+			if band <= 0 {
+				score += 1e9
+			} else if req.Bandwidth > 0 {
+				score += req.Bandwidth / band
+			}
+		}
+		if e.Trust != nil {
+			score += (1 - e.Trust.Score(c.Peer)) * 5
+		}
+		ss[i] = scored{c: c, score: score}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score < ss[j].score
+		}
+		return ss[i].c.ID < ss[j].c.ID
+	})
+	out := make([]service.Component, k)
+	for i := 0; i < k; i++ {
+		out[i] = ss[i].c
+	}
+	return out
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

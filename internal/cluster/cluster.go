@@ -1,0 +1,433 @@
+// Package cluster wires the full SpiderNet stack together over the
+// simulation runtime: an IP-layer topology, a P2P service overlay, one DHT
+// node + discovery registry + BCP engine per peer, and a population of
+// service components. Tests and experiments build clusters instead of
+// repeating this plumbing.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/bcp"
+	"repro/internal/dht"
+	"repro/internal/media"
+	"repro/internal/p2p"
+	"repro/internal/qos"
+	"repro/internal/recovery"
+	"repro/internal/registry"
+	"repro/internal/service"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+	"repro/internal/trust"
+)
+
+// Options configures a simulated SpiderNet deployment. Zero fields take the
+// defaults documented on each field.
+type Options struct {
+	Seed     int64 // RNG seed (default 1)
+	IPNodes  int   // IP-layer nodes (default 400)
+	Peers    int   // overlay peers (default 60)
+	Degree   int   // overlay degree (default 4)
+	Kind     topology.OverlayKind
+	Catalog  []string      // function catalogue (default fn0..fn19)
+	MinComps int           // components per peer, inclusive range (default 1)
+	MaxComps int           // (default 3)
+	Capacity qos.Resources // per-peer capacity (default cpu=20, mem=200)
+	// QpDelayMin/Max bound each component's service delay in ms
+	// (default 5..30).
+	QpDelayMin, QpDelayMax float64
+	// QpLossMax bounds each component's data loss rate (default 0.004).
+	QpLossMax float64
+	// FailProbMax bounds per-peer failure probability (default 0.05).
+	FailProbMax float64
+	// BCP configures every peer's composition engine.
+	BCP bcp.Config
+	// DynamicJoin grows the DHT with serial joins instead of the static
+	// global-knowledge build.
+	DynamicJoin bool
+	// Recovery, when non-nil, attaches a failure-recovery manager to every
+	// peer.
+	Recovery *recovery.Config
+	// TrustAware attaches a trust manager to every peer, wires it into BCP
+	// next-hop selection (threshold MinTrust) and, when recovery is on,
+	// into session-outcome reporting.
+	TrustAware bool
+	// MinTrust is the exclusion threshold for TrustAware (default 0.2).
+	MinTrust float64
+}
+
+// Peer bundles one overlay node's protocol stack.
+type Peer struct {
+	Node       p2p.Node
+	Ledger     *qos.Ledger
+	DHT        *dht.Node
+	Registry   *registry.Registry
+	Engine     *bcp.Engine
+	Recovery   *recovery.Manager
+	Trust      *trust.Manager
+	Media      *media.Node
+	Components []service.Component
+	FailProb   float64
+}
+
+// Cluster is a fully wired simulated deployment.
+type Cluster struct {
+	Sim     *simnet.Sim
+	Net     *simnet.Network
+	IP      *topology.Graph
+	Overlay *topology.Overlay
+	Peers   []*Peer
+	Rng     *rand.Rand
+	opts    Options
+}
+
+func (o *Options) withDefaults() Options {
+	v := *o
+	if v.Seed == 0 {
+		v.Seed = 1
+	}
+	if v.IPNodes == 0 {
+		v.IPNodes = 400
+	}
+	if v.Peers == 0 {
+		v.Peers = 60
+	}
+	if v.Degree == 0 {
+		v.Degree = 4
+	}
+	if v.Catalog == nil {
+		for i := 0; i < 20; i++ {
+			v.Catalog = append(v.Catalog, fmt.Sprintf("fn%d", i))
+		}
+	}
+	if v.MinComps == 0 {
+		v.MinComps = 1
+	}
+	if v.MaxComps == 0 {
+		v.MaxComps = 3
+	}
+	if v.Capacity == (qos.Resources{}) {
+		v.Capacity[qos.CPU] = 20
+		v.Capacity[qos.Memory] = 200
+	}
+	if v.QpDelayMax == 0 {
+		v.QpDelayMin, v.QpDelayMax = 5, 30
+	}
+	if v.QpLossMax == 0 {
+		v.QpLossMax = 0.004
+	}
+	if v.FailProbMax == 0 {
+		v.FailProbMax = 0.05
+	}
+	if v.BCP == (bcp.Config{}) {
+		v.BCP = bcp.DefaultConfig()
+	}
+	return v
+}
+
+// New builds the deployment: topology, overlay, per-peer stacks, component
+// placement, and service registration (the simulator is run until the
+// registrations settle).
+func New(opts Options) *Cluster {
+	o := opts.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	sim := simnet.NewSim()
+	ip := topology.GeneratePowerLaw(o.IPNodes, 2, 2, 30, rng)
+	ov := topology.BuildOverlay(ip, topology.OverlayConfig{
+		NumPeers: o.Peers,
+		Kind:     o.Kind,
+		Degree:   o.Degree,
+		CapMin:   2000,
+		CapMax:   10000,
+	}, rng)
+	latency := func(from, to p2p.NodeID) time.Duration {
+		return time.Duration(ov.Latency(int(from), int(to)) * float64(time.Millisecond))
+	}
+	net := simnet.NewNetwork(sim, latency, rng)
+
+	c := &Cluster{Sim: sim, Net: net, IP: ip, Overlay: ov, Rng: rng, opts: o}
+	oracle := &overlayOracle{ov: ov}
+
+	dhtNodes := make([]*dht.Node, o.Peers)
+	for i := 0; i < o.Peers; i++ {
+		host := net.AddNode(p2p.NodeID(i))
+		ledger := qos.NewLedger(o.Capacity)
+		dn := dht.New(host, net.Alive)
+		reg := registry.New(dn)
+		failProb := rng.Float64() * o.FailProbMax
+
+		ncomps := o.MinComps + rng.Intn(o.MaxComps-o.MinComps+1)
+		comps := make([]service.Component, 0, ncomps)
+		used := make(map[string]bool)
+		for k := 0; k < ncomps; k++ {
+			fn := o.Catalog[rng.Intn(len(o.Catalog))]
+			if used[fn] {
+				continue // a peer provides each function at most once
+			}
+			used[fn] = true
+			var qp qos.Vector
+			qp[qos.Delay] = o.QpDelayMin + rng.Float64()*(o.QpDelayMax-o.QpDelayMin)
+			qp[qos.Loss] = qos.LossToAdditive(rng.Float64() * o.QpLossMax)
+			var res qos.Resources
+			res[qos.CPU] = 1
+			res[qos.Memory] = 10
+			comps = append(comps, service.Component{
+				ID:       fmt.Sprintf("p%d/%s.%d", i, fn, k),
+				Function: fn,
+				Peer:     p2p.NodeID(i),
+				Qp:       qp,
+				Res:      res,
+				FailProb: failProb,
+			})
+		}
+		eng := bcp.NewEngine(host, ledger, reg, oracle, comps, o.BCP)
+		var rec *recovery.Manager
+		if o.Recovery != nil {
+			rec = recovery.NewManager(eng, *o.Recovery)
+		}
+		var tm *trust.Manager
+		if o.TrustAware {
+			tm = trust.NewManager(host, dn, trust.DefaultConfig())
+			eng.Trust = tm
+			minTrust := o.MinTrust
+			if minTrust == 0 {
+				minTrust = 0.2
+			}
+			eng.MinTrust = minTrust
+			if rec != nil {
+				rec.Trust = tm
+			}
+		}
+		med := media.Attach(host, eng.LocalComponent)
+		c.Peers = append(c.Peers, &Peer{
+			Node: host, Ledger: ledger, DHT: dn, Registry: reg,
+			Engine: eng, Recovery: rec, Trust: tm, Media: med, Components: comps, FailProb: failProb,
+		})
+		dhtNodes[i] = dn
+	}
+
+	if o.DynamicJoin {
+		for i := 1; i < o.Peers; i++ {
+			dhtNodes[i].Join(p2p.NodeID(rng.Intn(i)))
+			sim.RunUntilIdle()
+		}
+	} else {
+		dht.Build(dhtNodes)
+	}
+
+	// Register every component and let the puts settle.
+	for _, p := range c.Peers {
+		for _, comp := range p.Components {
+			p.Registry.Register(comp)
+		}
+	}
+	sim.RunUntilIdle()
+	net.ResetStats()
+	return c
+}
+
+// Join adds a brand-new peer to a running deployment: it picks an unused IP
+// node as its host, joins the DHT through a live bootstrap peer, registers
+// the given components, and becomes fully composable once the join traffic
+// settles (run the simulator). This models the paper's dynamic peer
+// arrivals. The overlay data plane maps the newcomer onto its bootstrap's
+// routes.
+func (c *Cluster) Join(components []string, bootstrap p2p.NodeID) *Peer {
+	id := p2p.NodeID(len(c.Peers))
+	// Host the newcomer on an IP node no existing peer occupies.
+	used := make(map[int]bool, len(c.Peers))
+	for p := 0; p < c.Overlay.N(); p++ {
+		used[c.Overlay.PeerIP(p)] = true
+	}
+	ip := c.Rng.Intn(c.IP.N())
+	for used[ip] {
+		ip = c.Rng.Intn(c.IP.N())
+	}
+	c.Overlay.AddPeer(c.IP, ip, 4, c.Rng)
+	host := c.Net.AddNode(id)
+	ledger := qos.NewLedger(c.opts.Capacity)
+	dn := dht.New(host, c.Net.Alive)
+	reg := registry.New(dn)
+
+	comps := make([]service.Component, 0, len(components))
+	for k, fn := range components {
+		var qp qos.Vector
+		qp[qos.Delay] = c.opts.QpDelayMin + c.Rng.Float64()*(c.opts.QpDelayMax-c.opts.QpDelayMin)
+		qp[qos.Loss] = qos.LossToAdditive(c.Rng.Float64() * c.opts.QpLossMax)
+		var res qos.Resources
+		res[qos.CPU] = 1
+		res[qos.Memory] = 10
+		comps = append(comps, service.Component{
+			ID:       fmt.Sprintf("p%d/%s.%d", int(id), fn, k),
+			Function: fn,
+			Peer:     id,
+			Qp:       qp,
+			Res:      res,
+		})
+	}
+	eng := bcp.NewEngine(host, ledger, reg, c.Oracle(), comps, c.opts.BCP)
+	var rec *recovery.Manager
+	if c.opts.Recovery != nil {
+		rec = recovery.NewManager(eng, *c.opts.Recovery)
+	}
+	med := media.Attach(host, eng.LocalComponent)
+	p := &Peer{
+		Node: host, Ledger: ledger, DHT: dn, Registry: reg,
+		Engine: eng, Recovery: rec, Media: med, Components: comps,
+	}
+	c.Peers = append(c.Peers, p)
+
+	dn.Join(bootstrap)
+	// Register services once the join has seeded the routing state; on the
+	// virtual clock one second is ample.
+	host.After(time.Second, func() {
+		for _, comp := range comps {
+			reg.Register(comp)
+		}
+	})
+	return p
+}
+
+// Replicas returns how many components provide fn across live peers.
+func (c *Cluster) Replicas(fn string) int {
+	n := 0
+	for _, p := range c.Peers {
+		for _, comp := range p.Components {
+			if comp.Function == fn {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ComponentsFor returns every component providing fn, live or not.
+func (c *Cluster) ComponentsFor(fn string) []service.Component {
+	var out []service.Component
+	for _, p := range c.Peers {
+		for _, comp := range p.Components {
+			if comp.Function == fn {
+				out = append(out, comp)
+			}
+		}
+	}
+	return out
+}
+
+// FunctionsByReplicas returns the provided functions sorted by replica
+// count descending — convenient for building requests that are actually
+// satisfiable.
+func (c *Cluster) FunctionsByReplicas() []string {
+	type fc struct {
+		fn string
+		n  int
+	}
+	var fcs []fc
+	for _, fn := range c.opts.Catalog {
+		if n := c.Replicas(fn); n > 0 {
+			fcs = append(fcs, fc{fn, n})
+		}
+	}
+	for i := 1; i < len(fcs); i++ {
+		for j := i; j > 0 && fcs[j].n > fcs[j-1].n; j-- {
+			fcs[j], fcs[j-1] = fcs[j-1], fcs[j]
+		}
+	}
+	out := make([]string, len(fcs))
+	for i, f := range fcs {
+		out[i] = f.fn
+	}
+	return out
+}
+
+// Oracle returns the data-plane oracle shared by all engines.
+func (c *Cluster) Oracle() bcp.Oracle { return &overlayOracle{ov: c.Overlay} }
+
+// FailFraction fails the given fraction of peers uniformly at random and
+// returns their IDs.
+func (c *Cluster) FailFraction(frac float64) []p2p.NodeID {
+	n := int(frac * float64(len(c.Peers)))
+	perm := c.Rng.Perm(len(c.Peers))
+	var failed []p2p.NodeID
+	for i := 0; i < n; i++ {
+		id := p2p.NodeID(perm[i])
+		if c.Net.Alive(id) {
+			c.Net.Fail(id)
+			failed = append(failed, id)
+		}
+	}
+	return failed
+}
+
+// overlayOracle adapts topology.Overlay to the bcp.Oracle interface.
+type overlayOracle struct {
+	ov *topology.Overlay
+}
+
+func (o *overlayOracle) Path(a, b p2p.NodeID) (float64, float64, bool) {
+	p, ok := o.ov.Route(int(a), int(b))
+	if !ok {
+		return 0, 0, false
+	}
+	return p.Latency, o.ov.AvailBandwidth(p), true
+}
+
+func (o *overlayOracle) AllocBandwidth(a, b p2p.NodeID, kbps float64) bool {
+	p, ok := o.ov.Route(int(a), int(b))
+	if !ok {
+		return false
+	}
+	return o.ov.AllocBandwidth(p, kbps)
+}
+
+func (o *overlayOracle) ReleaseBandwidth(a, b p2p.NodeID, kbps float64) {
+	if p, ok := o.ov.Route(int(a), int(b)); ok {
+		o.ov.ReleaseBandwidth(p, kbps)
+	}
+}
+
+// World returns the baselines' omniscient view over this cluster: global
+// component listings, liveness, ledgers, and the data plane.
+func (c *Cluster) World() baselines.World { return &world{c: c} }
+
+type world struct{ c *Cluster }
+
+func (w *world) ComponentsFor(fn string) []service.Component { return w.c.ComponentsFor(fn) }
+func (w *world) Alive(p p2p.NodeID) bool                     { return w.c.Net.Alive(p) }
+
+func (w *world) Avail(p p2p.NodeID) qos.Resources {
+	return w.c.Peers[int(p)].Ledger.AvailableHard()
+}
+
+func (w *world) Path(a, b p2p.NodeID) (float64, float64, bool) {
+	pth, ok := w.c.Overlay.Route(int(a), int(b))
+	if !ok {
+		return 0, 0, false
+	}
+	return pth.Latency, w.c.Overlay.AvailBandwidth(pth), true
+}
+
+func (w *world) Commit(p p2p.NodeID, res qos.Resources) bool {
+	return w.c.Peers[int(p)].Ledger.CommitDirect(res)
+}
+
+func (w *world) Free(p p2p.NodeID, res qos.Resources) {
+	w.c.Peers[int(p)].Ledger.Free(res)
+}
+
+func (w *world) AllocBandwidth(a, b p2p.NodeID, kbps float64) bool {
+	pth, ok := w.c.Overlay.Route(int(a), int(b))
+	if !ok {
+		return false
+	}
+	return w.c.Overlay.AllocBandwidth(pth, kbps)
+}
+
+func (w *world) ReleaseBandwidth(a, b p2p.NodeID, kbps float64) {
+	if pth, ok := w.c.Overlay.Route(int(a), int(b)); ok {
+		w.c.Overlay.ReleaseBandwidth(pth, kbps)
+	}
+}

@@ -1,0 +1,20 @@
+package dht
+
+import (
+	"encoding/gob"
+	"sync"
+)
+
+var gobOnce sync.Once
+
+// RegisterGob registers the DHT's message payload types with encoding/gob
+// so they can cross real network transports. Safe to call multiple times.
+func RegisterGob() {
+	gobOnce.Do(func() {
+		gob.RegisterName("dht.RouteMsg", RouteMsg{})
+		gob.RegisterName("dht.GetResp", GetResp{})
+		gob.RegisterName("dht.StateMsg", StateMsg{})
+		gob.RegisterName("dht.AnnounceMsg", AnnounceMsg{})
+		gob.RegisterName("dht.ReplicaMsg", ReplicaMsg{})
+	})
+}

@@ -1,0 +1,119 @@
+// Package dht implements the Pastry-style distributed hash table SpiderNet's
+// decentralized service discovery is built on (§3 of the paper): a 128-bit
+// circular identifier space, hex-digit prefix routing tables, and leaf sets.
+// Routing, storage, and joins are message-driven over the p2p transport, so
+// every lookup pays realistic per-hop latencies in both runtimes.
+package dht
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/p2p"
+)
+
+// IDBytes is the identifier width in bytes (128 bits, as in Pastry).
+const IDBytes = 16
+
+// NumDigits is the identifier width in base-16 digits.
+const NumDigits = IDBytes * 2
+
+// ID is a 128-bit identifier in the circular Pastry key space,
+// big-endian.
+type ID [IDBytes]byte
+
+// Key hashes an arbitrary string (e.g. a service function name) into the
+// identifier space with SHA-1 truncated to 128 bits, the scheme Pastry's
+// applications used.
+func Key(s string) ID {
+	sum := sha1.Sum([]byte(s))
+	var id ID
+	copy(id[:], sum[:IDBytes])
+	return id
+}
+
+// FromNode derives a peer's DHT identifier from its transport ID.
+func FromNode(n p2p.NodeID) ID {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(int64(n)))
+	return Key("node:" + hex.EncodeToString(buf[:]))
+}
+
+// Digit returns the i'th base-16 digit of the identifier, most significant
+// first.
+func (id ID) Digit(i int) int {
+	b := id[i/2]
+	if i%2 == 0 {
+		return int(b >> 4)
+	}
+	return int(b & 0x0f)
+}
+
+// CommonPrefix returns the number of leading base-16 digits id shares
+// with o.
+func (id ID) CommonPrefix(o ID) int {
+	for i := 0; i < NumDigits; i++ {
+		if id.Digit(i) != o.Digit(i) {
+			return i
+		}
+	}
+	return NumDigits
+}
+
+// Cmp compares identifiers as big-endian unsigned integers, returning
+// -1, 0, or 1.
+func (id ID) Cmp(o ID) int {
+	for i := 0; i < IDBytes; i++ {
+		switch {
+		case id[i] < o[i]:
+			return -1
+		case id[i] > o[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports id < o as unsigned integers.
+func (id ID) Less(o ID) bool { return id.Cmp(o) < 0 }
+
+// sub returns id - o modulo 2^128.
+func sub(a, b ID) ID {
+	var r ID
+	var borrow uint16
+	for i := IDBytes - 1; i >= 0; i-- {
+		d := uint16(a[i]) - uint16(b[i]) - borrow
+		r[i] = byte(d)
+		borrow = (d >> 15) & 1
+	}
+	return r
+}
+
+// Dist returns the circular distance min(a-b, b-a) mod 2^128.
+func Dist(a, b ID) ID {
+	d1 := sub(a, b)
+	d2 := sub(b, a)
+	if d1.Less(d2) {
+		return d1
+	}
+	return d2
+}
+
+// Closer reports whether a is strictly closer to key than b in circular
+// distance, breaking ties toward the numerically smaller identifier so the
+// "numerically closest node" is unique.
+func Closer(key, a, b ID) bool {
+	da, db := Dist(a, key), Dist(b, key)
+	if c := da.Cmp(db); c != 0 {
+		return c < 0
+	}
+	return a.Less(b)
+}
+
+// String renders the identifier as 32 hex digits.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// Short renders the first 8 hex digits, for logs.
+func (id ID) Short() string { return fmt.Sprintf("%x", id[:4]) }

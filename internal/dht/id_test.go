@@ -1,0 +1,117 @@
+package dht
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/p2p"
+)
+
+func TestKeyDeterministic(t *testing.T) {
+	if Key("upscale") != Key("upscale") {
+		t.Fatal("Key not deterministic")
+	}
+	if Key("upscale") == Key("downscale") {
+		t.Fatal("distinct names collided")
+	}
+}
+
+func TestFromNodeDistinct(t *testing.T) {
+	seen := make(map[ID]bool)
+	for i := 0; i < 1000; i++ {
+		id := FromNode(p2p.NodeID(i))
+		if seen[id] {
+			t.Fatalf("node %d collided", i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestDigit(t *testing.T) {
+	var id ID
+	id[0] = 0xab
+	id[1] = 0xcd
+	if id.Digit(0) != 0xa || id.Digit(1) != 0xb || id.Digit(2) != 0xc || id.Digit(3) != 0xd {
+		t.Fatalf("digits=%x %x %x %x", id.Digit(0), id.Digit(1), id.Digit(2), id.Digit(3))
+	}
+}
+
+func TestCommonPrefix(t *testing.T) {
+	a := Key("x")
+	if a.CommonPrefix(a) != NumDigits {
+		t.Fatal("self prefix should be full width")
+	}
+	var b, c ID
+	b[0], b[1] = 0x12, 0x34
+	c[0], c[1] = 0x12, 0x35
+	if got := b.CommonPrefix(c); got != 3 {
+		t.Fatalf("prefix=%d, want 3", got)
+	}
+	c[0] = 0x13
+	if got := b.CommonPrefix(c); got != 1 {
+		t.Fatalf("prefix=%d, want 1", got)
+	}
+}
+
+func TestCmpAndLess(t *testing.T) {
+	var a, b ID
+	b[IDBytes-1] = 1
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Fatal("Cmp wrong")
+	}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("Less wrong")
+	}
+}
+
+func TestSubWrapAround(t *testing.T) {
+	var zero, one ID
+	one[IDBytes-1] = 1
+	d := sub(zero, one) // -1 mod 2^128 = all 0xff
+	for _, b := range d {
+		if b != 0xff {
+			t.Fatalf("wraparound sub = %v", d)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(a, b [IDBytes]byte) bool {
+		x, y := ID(a), ID(b)
+		return Dist(x, y) == Dist(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistZeroIffEqual(t *testing.T) {
+	a := Key("a")
+	if Dist(a, a) != (ID{}) {
+		t.Fatal("self distance nonzero")
+	}
+	if Dist(a, Key("b")) == (ID{}) {
+		t.Fatal("distinct ids at zero distance")
+	}
+}
+
+func TestCloserTotalOrderAroundKey(t *testing.T) {
+	key := Key("k")
+	a, b := Key("a"), Key("b")
+	if Closer(key, a, b) == Closer(key, b, a) {
+		t.Fatal("Closer must order distinct ids strictly")
+	}
+	if Closer(key, a, a) {
+		t.Fatal("id is not closer than itself")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	id := Key("x")
+	if len(id.String()) != 32 {
+		t.Fatalf("String length %d", len(id.String()))
+	}
+	if len(id.Short()) != 8 {
+		t.Fatalf("Short length %d", len(id.Short()))
+	}
+}

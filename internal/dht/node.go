@@ -1,0 +1,418 @@
+package dht
+
+import (
+	"time"
+
+	"repro/internal/p2p"
+)
+
+// Protocol message types.
+const (
+	MsgRoute    = "dht.route"
+	MsgGetResp  = "dht.get.resp"
+	MsgState    = "dht.state"
+	MsgAnnounce = "dht.announce"
+	MsgReplica  = "dht.replica"
+)
+
+const (
+	// LeafSize is the number of numerically closest neighbors each node
+	// tracks.
+	LeafSize = 16
+	// Replicas is how many leaf-set neighbors receive a copy of each stored
+	// item, so lookups survive root failures.
+	Replicas = 4
+	// routeSize approximates the wire size of a routed message header.
+	routeSize = 64
+)
+
+// Entry pairs a DHT identifier with the transport address of the node that
+// owns it.
+type Entry struct {
+	ID   ID
+	Addr p2p.NodeID
+}
+
+// RouteMsg is the envelope routed greedily toward Key. Exactly one of Put,
+// Get, Join is set.
+type RouteMsg struct {
+	Key  ID
+	Hops int
+	Put  *PutPayload
+	Get  *GetPayload
+	Join *JoinPayload
+}
+
+// PutPayload stores one item under the routed key.
+type PutPayload struct {
+	Item any
+	Size int
+}
+
+// GetPayload asks the key's root to return all items stored under the key.
+type GetPayload struct {
+	ReqID  uint64
+	Origin p2p.NodeID
+}
+
+// JoinPayload introduces a new node; the key's root replies with its state.
+type JoinPayload struct {
+	New Entry
+}
+
+// GetResp returns the stored items directly to the requester.
+type GetResp struct {
+	ReqID uint64
+	Items []any
+	Hops  int
+}
+
+// StateMsg transfers a set of known entries (root → joiner).
+type StateMsg struct {
+	Entries []Entry
+}
+
+// AnnounceMsg advertises a (possibly new) node to a peer.
+type AnnounceMsg struct {
+	Who Entry
+}
+
+// ReplicaMsg pushes a stored item to a leaf-set neighbor for fault
+// tolerance.
+type ReplicaMsg struct {
+	Key  ID
+	Item any
+	Size int
+}
+
+// Node is one DHT participant bound to a transport node. All methods must be
+// called from the host's event context (handler or timer), which both
+// runtimes guarantee.
+type Node struct {
+	host  p2p.Node
+	self  Entry
+	alive func(p2p.NodeID) bool
+
+	leaves []Entry              // sorted by circular distance to self, <= LeafSize
+	table  [NumDigits][16]Entry // empty slots have Addr == p2p.NoNode
+
+	store   map[ID][]any
+	nextReq uint64
+	pending map[uint64]*getReq
+}
+
+type getReq struct {
+	key     ID
+	cb      func(items []any, hops int, ok bool)
+	cancel  p2p.CancelFunc
+	retried bool
+	timeout time.Duration
+}
+
+// New creates a DHT node on host. alive is the liveness oracle standing in
+// for Pastry's neighbor keepalives: routing skips entries it reports dead.
+// A nil alive treats every peer as up.
+func New(host p2p.Node, alive func(p2p.NodeID) bool) *Node {
+	if alive == nil {
+		alive = func(p2p.NodeID) bool { return true }
+	}
+	n := &Node{
+		host:    host,
+		self:    Entry{ID: FromNode(host.ID()), Addr: host.ID()},
+		alive:   alive,
+		store:   make(map[ID][]any),
+		pending: make(map[uint64]*getReq),
+	}
+	for i := range n.table {
+		for j := range n.table[i] {
+			n.table[i][j].Addr = p2p.NoNode
+		}
+	}
+	host.Handle(MsgRoute, n.onRoute)
+	host.Handle(MsgGetResp, n.onGetResp)
+	host.Handle(MsgState, n.onState)
+	host.Handle(MsgAnnounce, n.onAnnounce)
+	host.Handle(MsgReplica, n.onReplica)
+	return n
+}
+
+// Self returns this node's DHT identifier.
+func (n *Node) Self() ID { return n.self.ID }
+
+// Addr returns this node's transport address.
+func (n *Node) Addr() p2p.NodeID { return n.self.Addr }
+
+// NumLeaves returns the current leaf-set size (for tests and diagnostics).
+func (n *Node) NumLeaves() int { return len(n.leaves) }
+
+// StoredUnder returns how many items this node stores under key (including
+// replicas).
+func (n *Node) StoredUnder(key ID) int { return len(n.store[key]) }
+
+// AddEntry incorporates a known (id, addr) pair into the leaf set and
+// routing table. It is the primitive both the static Build and the dynamic
+// join/announce paths use.
+func (n *Node) AddEntry(e Entry) {
+	if e.Addr == n.self.Addr {
+		return
+	}
+	// Routing table slot by common prefix and next digit.
+	row := n.self.ID.CommonPrefix(e.ID)
+	if row < NumDigits {
+		col := e.ID.Digit(row)
+		slot := &n.table[row][col]
+		if slot.Addr == p2p.NoNode || !n.alive(slot.Addr) {
+			*slot = e
+		}
+	}
+	// Leaf set: insert, dedup, keep the LeafSize closest.
+	for _, l := range n.leaves {
+		if l.Addr == e.Addr {
+			return
+		}
+	}
+	n.leaves = append(n.leaves, e)
+	self := n.self.ID
+	sortEntries(n.leaves, func(a, b Entry) bool { return Closer(self, a.ID, b.ID) })
+	if len(n.leaves) > LeafSize {
+		n.leaves = n.leaves[:LeafSize]
+	}
+}
+
+func sortEntries(s []Entry, less func(a, b Entry) bool) {
+	// Insertion sort: leaf sets are tiny and mostly sorted.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// knownEntries yields every live entry this node can route through.
+func (n *Node) knownEntries(visit func(Entry)) {
+	for _, e := range n.leaves {
+		if n.alive(e.Addr) {
+			visit(e)
+		}
+	}
+	for row := range n.table {
+		for col := range n.table[row] {
+			e := n.table[row][col]
+			if e.Addr != p2p.NoNode && n.alive(e.Addr) {
+				visit(e)
+			}
+		}
+	}
+}
+
+// nextHop picks the Pastry forwarding target for key: prefer entries with a
+// strictly longer shared prefix than self (longest prefix, then closest);
+// otherwise any entry strictly closer to the key than self. A zero-value
+// return (Addr == NoNode) means self is the root.
+func (n *Node) nextHop(key ID) Entry {
+	selfPrefix := n.self.ID.CommonPrefix(key)
+	best := Entry{Addr: p2p.NoNode}
+	bestPrefix := -1
+	n.knownEntries(func(e Entry) {
+		p := e.ID.CommonPrefix(key)
+		if p <= selfPrefix {
+			return
+		}
+		if p > bestPrefix || (p == bestPrefix && Closer(key, e.ID, best.ID)) {
+			best, bestPrefix = e, p
+		}
+	})
+	if best.Addr != p2p.NoNode {
+		return best
+	}
+	// Fallback (Pastry's rare case): an entry whose shared prefix is at
+	// least as long as self's AND which is strictly closer to the key.
+	// Requiring both keeps (prefix, distance) lexicographically monotone
+	// along the route, which guarantees termination.
+	n.knownEntries(func(e Entry) {
+		if e.ID.CommonPrefix(key) >= selfPrefix && Closer(key, e.ID, n.self.ID) {
+			if best.Addr == p2p.NoNode || Closer(key, e.ID, best.ID) {
+				best = e
+			}
+		}
+	})
+	return best
+}
+
+func (n *Node) forwardOrDeliver(rm RouteMsg) {
+	next := n.nextHop(rm.Key)
+	if next.Addr == p2p.NoNode {
+		n.deliver(rm)
+		return
+	}
+	rm.Hops++
+	n.host.Send(p2p.Message{Type: MsgRoute, To: next.Addr, Size: routeSize + payloadSize(rm), Payload: rm})
+}
+
+func payloadSize(rm RouteMsg) int {
+	switch {
+	case rm.Put != nil:
+		return rm.Put.Size
+	case rm.Get != nil:
+		return 16
+	case rm.Join != nil:
+		return 24
+	}
+	return 0
+}
+
+func (n *Node) onRoute(_ p2p.Node, msg p2p.Message) {
+	rm := msg.Payload.(RouteMsg)
+	n.forwardOrDeliver(rm)
+}
+
+// deliver handles a routed message for which this node is the root.
+func (n *Node) deliver(rm RouteMsg) {
+	switch {
+	case rm.Put != nil:
+		n.store[rm.Key] = append(n.store[rm.Key], rm.Put.Item)
+		n.replicate(rm.Key, rm.Put.Item, rm.Put.Size)
+	case rm.Get != nil:
+		items := append([]any(nil), n.store[rm.Key]...)
+		n.host.Send(p2p.Message{
+			Type: MsgGetResp, To: rm.Get.Origin,
+			Size:    routeSize + 96*len(items),
+			Payload: GetResp{ReqID: rm.Get.ReqID, Items: items, Hops: rm.Hops},
+		})
+	case rm.Join != nil:
+		// Send the root's view (self, leaves, table) to the joiner, then
+		// adopt it.
+		entries := []Entry{n.self}
+		n.knownEntries(func(e Entry) { entries = append(entries, e) })
+		n.host.Send(p2p.Message{
+			Type: MsgState, To: rm.Join.New.Addr,
+			Size:    routeSize + 24*len(entries),
+			Payload: StateMsg{Entries: entries},
+		})
+		n.AddEntry(rm.Join.New)
+	}
+}
+
+func (n *Node) replicate(key ID, item any, size int) {
+	sent := 0
+	for _, e := range n.leaves {
+		if sent >= Replicas {
+			break
+		}
+		if !n.alive(e.Addr) {
+			continue
+		}
+		n.host.Send(p2p.Message{
+			Type: MsgReplica, To: e.Addr,
+			Size:    routeSize + size,
+			Payload: ReplicaMsg{Key: key, Item: item, Size: size},
+		})
+		sent++
+	}
+}
+
+func (n *Node) onReplica(_ p2p.Node, msg p2p.Message) {
+	rm := msg.Payload.(ReplicaMsg)
+	for _, it := range n.store[rm.Key] {
+		if it == rm.Item {
+			return // idempotent for comparable items
+		}
+	}
+	n.store[rm.Key] = append(n.store[rm.Key], rm.Item)
+}
+
+func (n *Node) onState(_ p2p.Node, msg p2p.Message) {
+	sm := msg.Payload.(StateMsg)
+	for _, e := range sm.Entries {
+		n.AddEntry(e)
+	}
+	// Announce ourselves to everyone we just learned about so their state
+	// reflects the new membership.
+	for _, e := range sm.Entries {
+		if e.Addr == n.self.Addr {
+			continue
+		}
+		n.host.Send(p2p.Message{
+			Type: MsgAnnounce, To: e.Addr,
+			Size:    routeSize + 24,
+			Payload: AnnounceMsg{Who: n.self},
+		})
+	}
+}
+
+func (n *Node) onAnnounce(_ p2p.Node, msg p2p.Message) {
+	n.AddEntry(msg.Payload.(AnnounceMsg).Who)
+}
+
+// Join bootstraps this node into the ring through any existing member: a
+// join request routes to the root of the joiner's own identifier, whose
+// state seeds the joiner's tables.
+func (n *Node) Join(bootstrap p2p.NodeID) {
+	n.host.Send(p2p.Message{
+		Type: MsgRoute, To: bootstrap,
+		Size:    routeSize + 24,
+		Payload: RouteMsg{Key: n.self.ID, Join: &JoinPayload{New: n.self}},
+	})
+}
+
+// Put stores item under key on the key's root (plus replicas). size is the
+// approximate serialized size for overhead accounting.
+func (n *Node) Put(key ID, item any, size int) {
+	n.forwardOrDeliver(RouteMsg{Key: key, Put: &PutPayload{Item: item, Size: size}})
+}
+
+// Get fetches all items stored under key. cb fires exactly once: with the
+// items and hop count on success, or ok=false after two timeouts. The call
+// is asynchronous; cb runs on this node's event context.
+func (n *Node) Get(key ID, timeout time.Duration, cb func(items []any, hops int, ok bool)) {
+	n.nextReq++
+	id := n.nextReq
+	req := &getReq{key: key, cb: cb, timeout: timeout}
+	n.pending[id] = req
+	req.cancel = n.host.After(timeout, func() { n.getTimeout(id) })
+	n.sendGet(id, key)
+}
+
+func (n *Node) sendGet(reqID uint64, key ID) {
+	n.forwardOrDeliver(RouteMsg{Key: key, Get: &GetPayload{ReqID: reqID, Origin: n.self.Addr}})
+}
+
+func (n *Node) getTimeout(id uint64) {
+	req, ok := n.pending[id]
+	if !ok {
+		return
+	}
+	if !req.retried {
+		req.retried = true
+		req.cancel = n.host.After(req.timeout, func() { n.getTimeout(id) })
+		n.sendGet(id, req.key)
+		return
+	}
+	delete(n.pending, id)
+	req.cb(nil, 0, false)
+}
+
+func (n *Node) onGetResp(_ p2p.Node, msg p2p.Message) {
+	gr := msg.Payload.(GetResp)
+	req, ok := n.pending[gr.ReqID]
+	if !ok {
+		return // late duplicate after timeout
+	}
+	delete(n.pending, gr.ReqID)
+	req.cancel()
+	req.cb(gr.Items, gr.Hops, true)
+}
+
+// Build wires a set of nodes into a consistent ring from global knowledge,
+// the static construction experiments use instead of serial joins. Each node
+// learns every other node's entry; AddEntry keeps only the relevant leaf and
+// table slots.
+func Build(nodes []*Node) {
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				a.AddEntry(b.self)
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package experiment reproduces every figure of the paper's evaluation
+// (§6): Figure 8 (success ratio vs. workload), Figure 9 (failure frequency
+// under churn), Figure 10 (wide-area session setup time), Figure 11 (service
+// delay vs. probing budget), and the centralized-vs-BCP overhead comparison.
+// Each Fig* function returns structured points plus a rendered table whose
+// rows mirror the series the paper plots. Default configurations are scaled
+// to run on a laptop in seconds; the Paper* variants use the paper's own
+// dimensions (10,000-node IP network, 1,000 peers, 200 functions, ...).
+package experiment
+
+import (
+	"time"
+
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/bcp"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/qos"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// Fig8Config parameterizes the success-ratio-vs-workload experiment.
+type Fig8Config struct {
+	Seed      int64
+	IPNodes   int
+	Peers     int
+	Functions int
+	// Workloads lists the requests-per-time-unit levels (the x axis).
+	Workloads []int
+	// TimeUnits is the number of workload time units simulated per level.
+	TimeUnits int
+	// TimeUnit is the simulated duration of one workload time unit.
+	TimeUnit time.Duration
+	// SessionLife is how long an admitted session holds its resources.
+	SessionLife time.Duration
+	// MinFuncs/MaxFuncs bound the function count per request.
+	MinFuncs, MaxFuncs int
+	// Capacity is the per-peer resource capacity (tightened vs. the cluster
+	// default so contention actually materializes at high workload).
+	Capacity qos.Resources
+	// DelayReq bounds the sampled end-to-end delay requirement (ms).
+	DelayReqMin, DelayReqMax float64
+}
+
+// DefaultFig8Config returns the laptop-scale configuration.
+func DefaultFig8Config() Fig8Config {
+	var cap qos.Resources
+	cap[qos.CPU] = 8
+	cap[qos.Memory] = 80
+	return Fig8Config{
+		Seed:        1,
+		IPNodes:     1200,
+		Peers:       120,
+		Functions:   30,
+		Workloads:   []int{2, 4, 6, 8, 10},
+		TimeUnits:   20,
+		TimeUnit:    time.Second,
+		SessionLife: 15 * time.Second,
+		MinFuncs:    2,
+		MaxFuncs:    3,
+		Capacity:    cap,
+		DelayReqMin: 150,
+		DelayReqMax: 400,
+	}
+}
+
+// PaperFig8Config returns the paper's dimensions (§6.1): a 10,000-node IP
+// network, 1,000 peers, 200 functions, workloads 50–250 requests per time
+// unit. Expect a long run.
+func PaperFig8Config() Fig8Config {
+	c := DefaultFig8Config()
+	c.IPNodes = 10000
+	c.Peers = 1000
+	c.Functions = 200
+	c.Workloads = []int{50, 100, 150, 200, 250}
+	c.TimeUnits = 50 // the paper runs 2000 time units; the ratio is what matters
+	return c
+}
+
+// Fig8Point is one x-position of Figure 8: the success ratio each algorithm
+// achieved at one workload level.
+type Fig8Point struct {
+	Workload  int
+	Optimal   float64
+	Probing20 float64 // BCP with 20% of the optimal probe count
+	Probing10 float64 // BCP with 10% of the optimal probe count
+	Random    float64
+	Static    float64
+}
+
+// Fig8Result is the full figure.
+type Fig8Result struct {
+	Points []Fig8Point
+	Table  *metrics.Table
+}
+
+// algorithms simulated by Fig8.
+const (
+	algOptimal = iota
+	algProbing20
+	algProbing10
+	algRandom
+	algStatic
+	numAlgs
+)
+
+// Fig8 reproduces Figure 8: composition success ratio under increasing
+// workload for the optimal (unbounded flooding), probing-0.2, probing-0.1,
+// random, and static algorithms. Each algorithm replays the identical
+// request schedule on a fresh identically seeded cluster.
+func Fig8(cfg Fig8Config) Fig8Result {
+	var out Fig8Result
+	for _, w := range cfg.Workloads {
+		var p Fig8Point
+		p.Workload = w
+		for alg := 0; alg < numAlgs; alg++ {
+			ratio := fig8Run(cfg, w, alg)
+			switch alg {
+			case algOptimal:
+				p.Optimal = ratio
+			case algProbing20:
+				p.Probing20 = ratio
+			case algProbing10:
+				p.Probing10 = ratio
+			case algRandom:
+				p.Random = ratio
+			case algStatic:
+				p.Static = ratio
+			}
+		}
+		out.Points = append(out.Points, p)
+	}
+	t := metrics.NewTable("Figure 8: QoS success ratio vs. workload (requests/time unit)",
+		"workload", "optimal", "probing-0.2", "probing-0.1", "random", "static")
+	for _, p := range out.Points {
+		t.AddRow(p.Workload, p.Optimal, p.Probing20, p.Probing10, p.Random, p.Static)
+	}
+	out.Table = t
+	return out
+}
+
+// fig8Run replays one workload level through one algorithm and returns its
+// success ratio.
+func fig8Run(cfg Fig8Config, perUnit int, alg int) float64 {
+	bcpCfg := bcp.DefaultConfig()
+	// Soft reservations need to outlive probe collection plus the reverse
+	// ACK, but nothing more: longer holds make concurrent requests starve
+	// each other at high workload.
+	bcpCfg.SoftTimeout = 2500 * time.Millisecond
+	c := cluster.New(cluster.Options{
+		Seed:     cfg.Seed,
+		IPNodes:  cfg.IPNodes,
+		Peers:    cfg.Peers,
+		Catalog:  fnCatalog(cfg.Functions),
+		Capacity: cfg.Capacity,
+		BCP:      bcpCfg,
+	})
+	w := c.World()
+	gen := workload.NewGenerator(workload.Config{
+		Catalog:     fnCatalog(cfg.Functions),
+		Peers:       cfg.Peers,
+		MinFuncs:    cfg.MinFuncs,
+		MaxFuncs:    cfg.MaxFuncs,
+		DelayReqMin: cfg.DelayReqMin,
+		DelayReqMax: cfg.DelayReqMax,
+	}, newRng(cfg.Seed+100))
+
+	var ratio metrics.Ratio
+	arrivalRng := newRng(cfg.Seed + 200)
+	for unit := 0; unit < cfg.TimeUnits; unit++ {
+		for k := 0; k < perUnit; k++ {
+			req := gen.Next()
+			at := time.Duration(unit)*cfg.TimeUnit +
+				time.Duration(arrivalRng.Float64()*float64(cfg.TimeUnit))
+			c.Sim.Schedule(at-c.Sim.Now(), func() {
+				fig8Request(cfg, c, w, req, alg, &ratio)
+			})
+		}
+	}
+	// Drain: run past the last arrival plus composition and session time.
+	c.Sim.Run(time.Duration(cfg.TimeUnits)*cfg.TimeUnit + cfg.SessionLife + 30*time.Second)
+	return ratio.Value()
+}
+
+func fig8Request(cfg Fig8Config, c *cluster.Cluster, w baselines.World, req *service.Request, alg int, ratio *metrics.Ratio) {
+	switch alg {
+	case algOptimal, algRandom, algStatic:
+		var g *service.Graph
+		var ok bool
+		switch alg {
+		case algOptimal:
+			res := baselines.Optimal(w, req, service.DefaultWeights(), baselines.MinCost)
+			g, ok = res.Best, res.Best != nil
+		case algRandom:
+			g, ok = baselines.Random(w, req, c.Rng.Intn)
+		case algStatic:
+			g, ok = baselines.Static(w, req)
+		}
+		success := ok && g.Qualified(req) && baselines.Admit(w, g)
+		ratio.Add(success)
+		if success {
+			c.Sim.Schedule(cfg.SessionLife, func() { baselines.Release(w, g) })
+		}
+	case algProbing20, algProbing10:
+		frac := 0.2
+		if alg == algProbing10 {
+			frac = 0.1
+		}
+		budget := int(frac * float64(baselines.OptimalProbeCount(w, req)))
+		if budget < 1 {
+			budget = 1
+		}
+		req.Budget = budget
+		eng := c.Peers[int(req.Source)].Engine
+		eng.Compose(req, func(res bcp.Result) {
+			ratio.Add(res.Ok)
+			if res.Ok {
+				c.Sim.Schedule(cfg.SessionLife, func() { eng.Teardown(res.Best) })
+			}
+		})
+	}
+}
+
+// fnCatalog names n synthetic functions fn0..fn{n-1}.
+func fnCatalog(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("fn%d", i)
+	}
+	return out
+}
+
+// newRng returns a seeded random stream independent of the cluster's.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

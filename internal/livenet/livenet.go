@@ -1,0 +1,269 @@
+// Package livenet is SpiderNet's live runtime: one goroutine per peer,
+// real timers, and injected wide-area message latencies. It implements the
+// same p2p.Node interface as the discrete-event simulator, so the identical
+// protocol stack (DHT, discovery, BCP, recovery) runs unmodified — this is
+// the reproduction's stand-in for the paper's multithreaded Java prototype
+// deployed on 102 PlanetLab hosts.
+package livenet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/p2p"
+)
+
+// Stats counts network-level overhead (atomically updated).
+type Stats struct {
+	MessagesSent int64
+	BytesSent    int64
+	Dropped      int64
+}
+
+// Network is a set of live peers exchanging messages with injected
+// latencies.
+type Network struct {
+	lat     [][]float64 // one-way ms
+	start   time.Time
+	speedup float64
+
+	mu    sync.Mutex
+	nodes map[p2p.NodeID]*liveNode
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+	dropped  atomic.Int64
+	closed   atomic.Bool
+}
+
+// NewNetwork creates a live network over the n×n latency matrix (one-way
+// milliseconds). speedup divides every injected latency and timer — e.g.
+// speedup=10 runs a wide-area scenario ten times faster while preserving
+// relative timing; use 1 for real time.
+func NewNetwork(lat [][]float64, speedup float64) *Network {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	return &Network{
+		lat:     lat,
+		start:   time.Now(),
+		speedup: speedup,
+		nodes:   make(map[p2p.NodeID]*liveNode),
+	}
+}
+
+// Stats returns a snapshot of the overhead counters.
+func (nw *Network) Stats() Stats {
+	return Stats{
+		MessagesSent: nw.messages.Load(),
+		BytesSent:    nw.bytes.Load(),
+		Dropped:      nw.dropped.Load(),
+	}
+}
+
+// Scale converts a protocol-time duration into wall time under the
+// network's speedup. Protocol configs (timeouts, intervals) are expressed in
+// protocol time; the runtime divides by speedup internally.
+func (nw *Network) Scale(d time.Duration) time.Duration {
+	return time.Duration(float64(d) / nw.speedup)
+}
+
+// Unscale converts a wall-clock measurement (e.g. a Result's SetupTime,
+// taken from Node.Now differences) back into protocol time under the
+// network's speedup.
+func (nw *Network) Unscale(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * nw.speedup)
+}
+
+// AddNode registers a live peer and starts its event loop goroutine.
+func (nw *Network) AddNode(id p2p.NodeID, seed int64) p2p.Node {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if _, dup := nw.nodes[id]; dup {
+		panic(fmt.Sprintf("livenet: duplicate node %d", id))
+	}
+	n := &liveNode{
+		id:       id,
+		net:      nw,
+		inbox:    make(chan any, 1024),
+		quit:     make(chan struct{}),
+		handlers: make(map[string]p2p.Handler),
+		rng:      rand.New(rand.NewSource(seed ^ int64(id)<<17)),
+	}
+	n.alive.Store(true)
+	nw.nodes[id] = n
+	go n.loop()
+	return n
+}
+
+// Node returns a previously added node.
+func (nw *Network) Node(id p2p.NodeID) p2p.Node {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.nodes[id]
+}
+
+// Exec runs fn on the node's event loop — the safe way for test and
+// experiment code to touch protocol state (register services, start
+// compositions) after traffic has started.
+func (nw *Network) Exec(id p2p.NodeID, fn func()) {
+	nw.mu.Lock()
+	n := nw.nodes[id]
+	nw.mu.Unlock()
+	if n == nil || !n.alive.Load() {
+		return
+	}
+	select {
+	case n.inbox <- fn:
+	case <-n.quit:
+	}
+}
+
+// Alive reports whether a peer is up.
+func (nw *Network) Alive(id p2p.NodeID) bool {
+	nw.mu.Lock()
+	n := nw.nodes[id]
+	nw.mu.Unlock()
+	return n != nil && n.alive.Load()
+}
+
+// Fail crashes a peer: messages to it are dropped and its timers are
+// invalidated. The event loop keeps draining (discarding) so senders never
+// block.
+func (nw *Network) Fail(id p2p.NodeID) {
+	nw.mu.Lock()
+	n := nw.nodes[id]
+	nw.mu.Unlock()
+	if n != nil && n.alive.Load() {
+		n.epoch.Add(1)
+		n.alive.Store(false)
+	}
+}
+
+// Recover brings a failed peer back.
+func (nw *Network) Recover(id p2p.NodeID) {
+	nw.mu.Lock()
+	n := nw.nodes[id]
+	nw.mu.Unlock()
+	if n != nil {
+		n.alive.Store(true)
+	}
+}
+
+// Close stops every node goroutine. The network is unusable afterwards.
+func (nw *Network) Close() {
+	if nw.closed.Swap(true) {
+		return
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for _, n := range nw.nodes {
+		close(n.quit)
+	}
+}
+
+func (nw *Network) send(msg p2p.Message) {
+	nw.messages.Add(1)
+	nw.bytes.Add(int64(msg.Size))
+	lat := nw.lat[int(msg.From)][int(msg.To)]
+	d := nw.Scale(time.Duration(lat * float64(time.Millisecond)))
+	time.AfterFunc(d, func() {
+		nw.mu.Lock()
+		dst := nw.nodes[msg.To]
+		nw.mu.Unlock()
+		if dst == nil || !dst.alive.Load() {
+			nw.dropped.Add(1)
+			return
+		}
+		select {
+		case dst.inbox <- msg:
+		case <-dst.quit:
+		}
+	})
+}
+
+// liveNode implements p2p.Node with a single event-loop goroutine, so
+// handlers and timers never race — the same single-threaded-per-peer
+// semantics the simulator provides.
+type liveNode struct {
+	id    p2p.NodeID
+	net   *Network
+	inbox chan any // p2p.Message or func()
+	quit  chan struct{}
+	alive atomic.Bool
+	epoch atomic.Uint64
+
+	hmu      sync.Mutex
+	handlers map[string]p2p.Handler
+
+	rng *rand.Rand
+}
+
+func (n *liveNode) loop() {
+	for {
+		select {
+		case <-n.quit:
+			return
+		case item := <-n.inbox:
+			if !n.alive.Load() {
+				continue // crashed: drain and discard
+			}
+			switch v := item.(type) {
+			case func():
+				v()
+			case p2p.Message:
+				n.hmu.Lock()
+				h := n.handlers[v.Type]
+				n.hmu.Unlock()
+				if h != nil {
+					h(n, v)
+				}
+			}
+		}
+	}
+}
+
+func (n *liveNode) ID() p2p.NodeID     { return n.id }
+func (n *liveNode) Now() time.Duration { return time.Since(n.net.start) }
+func (n *liveNode) Rand() *rand.Rand   { return n.rng }
+func (n *liveNode) Alive() bool        { return n.alive.Load() }
+
+func (n *liveNode) Handle(msgType string, h p2p.Handler) {
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	n.handlers[msgType] = h
+}
+
+func (n *liveNode) Send(msg p2p.Message) {
+	if !n.alive.Load() {
+		return
+	}
+	msg.From = n.id
+	n.net.send(msg)
+}
+
+func (n *liveNode) After(d time.Duration, fn func()) p2p.CancelFunc {
+	epoch := n.epoch.Load()
+	var cancelled atomic.Bool
+	timer := time.AfterFunc(n.net.Scale(d), func() {
+		if cancelled.Load() {
+			return
+		}
+		task := func() {
+			if !cancelled.Load() && n.epoch.Load() == epoch {
+				fn()
+			}
+		}
+		select {
+		case n.inbox <- task:
+		case <-n.quit:
+		}
+	})
+	return func() {
+		cancelled.Store(true)
+		timer.Stop()
+	}
+}

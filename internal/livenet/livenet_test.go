@@ -1,0 +1,231 @@
+package livenet
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fgraph"
+	"repro/internal/p2p"
+	"repro/internal/qos"
+	"repro/internal/service"
+)
+
+func flatLat(n int, ms float64) [][]float64 {
+	lat := make([][]float64, n)
+	for i := range lat {
+		lat[i] = make([]float64, n)
+		for j := range lat[i] {
+			if i != j {
+				lat[i][j] = ms
+			}
+		}
+	}
+	return lat
+}
+
+func TestSendDeliver(t *testing.T) {
+	nw := NewNetwork(flatLat(2, 1), 1)
+	defer nw.Close()
+	a := nw.AddNode(0, 1)
+	b := nw.AddNode(1, 1)
+	got := make(chan p2p.Message, 1)
+	b.Handle("ping", func(_ p2p.Node, msg p2p.Message) { got <- msg })
+	a.Send(p2p.Message{Type: "ping", To: 1, Size: 10, Payload: "x"})
+	select {
+	case m := <-got:
+		if m.From != 0 || m.Payload != "x" {
+			t.Fatalf("msg=%+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message never delivered")
+	}
+	st := nw.Stats()
+	if st.MessagesSent != 1 || st.BytesSent != 10 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+func TestFailedNodeDropsTraffic(t *testing.T) {
+	nw := NewNetwork(flatLat(2, 1), 1)
+	defer nw.Close()
+	a := nw.AddNode(0, 1)
+	nw.AddNode(1, 1).Handle("ping", func(_ p2p.Node, _ p2p.Message) {
+		t.Error("delivered to failed node")
+	})
+	nw.Fail(1)
+	a.Send(p2p.Message{Type: "ping", To: 1})
+	time.Sleep(100 * time.Millisecond)
+	if nw.Stats().Dropped != 1 {
+		t.Fatalf("stats=%+v", nw.Stats())
+	}
+	if nw.Alive(1) {
+		t.Fatal("failed node reported alive")
+	}
+}
+
+func TestTimerAndCancel(t *testing.T) {
+	nw := NewNetwork(flatLat(1, 1), 1)
+	defer nw.Close()
+	n := nw.AddNode(0, 1)
+	var fired, cancelled atomic.Int32
+	done := make(chan struct{})
+	n.After(20*time.Millisecond, func() {
+		fired.Add(1)
+		close(done)
+	})
+	c := n.After(20*time.Millisecond, func() { cancelled.Add(1) })
+	c()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if fired.Load() != 1 || cancelled.Load() != 0 {
+		t.Fatalf("fired=%d cancelled=%d", fired.Load(), cancelled.Load())
+	}
+}
+
+func TestTimersDieOnFailure(t *testing.T) {
+	nw := NewNetwork(flatLat(1, 1), 1)
+	defer nw.Close()
+	n := nw.AddNode(0, 1)
+	var fired atomic.Int32
+	n.After(50*time.Millisecond, func() { fired.Add(1) })
+	nw.Fail(0)
+	time.Sleep(120 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Fatal("timer fired on crashed node")
+	}
+	// Recovery does not resurrect pre-failure timers.
+	nw.Recover(0)
+	time.Sleep(60 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Fatal("stale timer fired after recovery")
+	}
+}
+
+func TestSpeedupCompressesLatency(t *testing.T) {
+	nw := NewNetwork(flatLat(2, 200), 20) // 200ms latency at 20x -> 10ms
+	defer nw.Close()
+	a := nw.AddNode(0, 1)
+	b := nw.AddNode(1, 1)
+	got := make(chan time.Time, 1)
+	b.Handle("ping", func(_ p2p.Node, _ p2p.Message) { got <- time.Now() })
+	sent := time.Now()
+	a.Send(p2p.Message{Type: "ping", To: 1})
+	select {
+	case at := <-got:
+		if el := at.Sub(sent); el > 150*time.Millisecond {
+			t.Fatalf("delivery took %v; speedup not applied", el)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("never delivered")
+	}
+	if nw.Unscale(10*time.Millisecond) != 200*time.Millisecond {
+		t.Fatal("Unscale wrong")
+	}
+}
+
+func TestExecRunsOnNodeLoop(t *testing.T) {
+	nw := NewNetwork(flatLat(1, 1), 1)
+	defer nw.Close()
+	nw.AddNode(0, 1)
+	done := make(chan struct{})
+	nw.Exec(0, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Exec never ran")
+	}
+}
+
+func TestTestbedComposeEndToEnd(t *testing.T) {
+	tb := NewTestbed(TestbedOptions{Hosts: 40, Seed: 5, Speedup: 50})
+	defer tb.Close()
+
+	// Pick three functions that actually have replicas.
+	var fns []string
+	for _, f := range MediaFunctions {
+		if tb.Replicas(f) > 0 {
+			fns = append(fns, f)
+		}
+		if len(fns) == 3 {
+			break
+		}
+	}
+	if len(fns) < 3 {
+		t.Skip("testbed too small for 3 distinct functions")
+	}
+	var res qos.Resources
+	res[qos.CPU] = 1
+	res[qos.Memory] = 10
+	q := qos.Unbounded()
+	q[qos.Delay] = 10000
+	req := &service.Request{
+		ID: 1, FGraph: fgraph.Linear(fns...), QoSReq: q, Res: res,
+		Bandwidth: 50, Source: 0, Dest: 1, Budget: 12,
+	}
+	r := tb.Compose(req)
+	if !r.Ok {
+		t.Fatal("live composition failed")
+	}
+	if len(r.Best.Comps) != 3 {
+		t.Fatalf("incomplete graph: %v", r.Best)
+	}
+	if r.SetupTime <= 0 {
+		t.Fatal("no setup time measured")
+	}
+	// Protocol-time setup spans at least the collect timeout.
+	if tb.Net.Unscale(r.SetupTime) < 500*time.Millisecond {
+		t.Fatalf("unscaled setup time %v implausibly low", tb.Net.Unscale(r.SetupTime))
+	}
+}
+
+func TestTestbedConcurrentCompositions(t *testing.T) {
+	tb := NewTestbed(TestbedOptions{Hosts: 40, Seed: 6, Speedup: 50})
+	defer tb.Close()
+	var fns []string
+	for _, f := range MediaFunctions {
+		if tb.Replicas(f) > 0 {
+			fns = append(fns, f)
+		}
+		if len(fns) == 2 {
+			break
+		}
+	}
+	var res qos.Resources
+	res[qos.CPU] = 1
+	res[qos.Memory] = 10
+	q := qos.Unbounded()
+	q[qos.Delay] = 10000
+
+	const N = 8
+	results := make(chan bool, N)
+	for i := 0; i < N; i++ {
+		i := i
+		go func() {
+			req := &service.Request{
+				ID: uint64(100 + i), FGraph: fgraph.Linear(fns...), QoSReq: q,
+				Res: res, Bandwidth: 10,
+				Source: p2p.NodeID(i * 2), Dest: p2p.NodeID(i*2 + 1), Budget: 8,
+			}
+			results <- tb.Compose(req).Ok
+		}()
+	}
+	okCount := 0
+	for i := 0; i < N; i++ {
+		select {
+		case ok := <-results:
+			if ok {
+				okCount++
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("composition timed out")
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("all concurrent compositions failed")
+	}
+}

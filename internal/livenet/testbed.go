@@ -1,0 +1,167 @@
+package livenet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/bcp"
+	"repro/internal/dht"
+	"repro/internal/media"
+	"repro/internal/p2p"
+	"repro/internal/qos"
+	"repro/internal/registry"
+	"repro/internal/service"
+	"repro/internal/topology"
+)
+
+// MediaFunctions are the six multimedia service functions of the paper's
+// prototype (§6.2), one of which is deployed on each testbed host.
+var MediaFunctions = []string{
+	"weather-ticker", "stock-ticker", "upscale", "downscale",
+	"subimage", "requant",
+}
+
+// TestbedOptions configures a live wide-area deployment.
+type TestbedOptions struct {
+	Hosts   int     // default 102, the paper's PlanetLab host count
+	Seed    int64   // default 1
+	Speedup float64 // latency/timer compression; default 1 (real time)
+	Catalog []string
+	BCP     bcp.Config
+	// Capacity per host (default cpu=20, mem=200).
+	Capacity qos.Resources
+}
+
+// TestbedPeer is one live host's protocol stack.
+type TestbedPeer struct {
+	Node       p2p.Node
+	Ledger     *qos.Ledger
+	DHT        *dht.Node
+	Registry   *registry.Registry
+	Engine     *bcp.Engine
+	Media      *media.Node
+	Components []service.Component
+}
+
+// Testbed is a live deployment: the PlanetLab stand-in.
+type Testbed struct {
+	Net   *Network
+	Peers []*TestbedPeer
+	opts  TestbedOptions
+}
+
+// flatOracle is the live data plane: wide-area latencies, effectively
+// unconstrained bandwidth (the paper's prototype did not enforce bandwidth
+// admission either).
+type flatOracle struct {
+	lat [][]float64
+}
+
+func (o *flatOracle) Path(a, b p2p.NodeID) (float64, float64, bool) {
+	return o.lat[int(a)][int(b)], 1e9, true
+}
+func (o *flatOracle) AllocBandwidth(a, b p2p.NodeID, kbps float64) bool { return true }
+func (o *flatOracle) ReleaseBandwidth(a, b p2p.NodeID, kbps float64)    {}
+
+// NewTestbed builds and starts a live deployment: wide-area latencies, one
+// goroutine per host, a statically built DHT, and one randomly drawn media
+// component per host, registered through the discovery substrate.
+func NewTestbed(opts TestbedOptions) *Testbed {
+	if opts.Hosts == 0 {
+		opts.Hosts = 102
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Speedup == 0 {
+		opts.Speedup = 1
+	}
+	if opts.Catalog == nil {
+		opts.Catalog = MediaFunctions
+	}
+	if opts.BCP == (bcp.Config{}) {
+		opts.BCP = bcp.DefaultConfig()
+	}
+	if opts.Capacity == (qos.Resources{}) {
+		opts.Capacity[qos.CPU] = 20
+		opts.Capacity[qos.Memory] = 200
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	lat := topology.WideAreaLatencies(opts.Hosts, rng)
+	nw := NewNetwork(lat, opts.Speedup)
+	oracle := &flatOracle{lat: lat}
+
+	tb := &Testbed{Net: nw, opts: opts}
+	dhtNodes := make([]*dht.Node, opts.Hosts)
+	for i := 0; i < opts.Hosts; i++ {
+		host := nw.AddNode(p2p.NodeID(i), opts.Seed)
+		ledger := qos.NewLedger(opts.Capacity)
+		dn := dht.New(host, nw.Alive)
+		reg := registry.New(dn)
+		fn := opts.Catalog[rng.Intn(len(opts.Catalog))]
+		var qp qos.Vector
+		qp[qos.Delay] = 5 + rng.Float64()*25
+		comps := []service.Component{{
+			ID:       fmt.Sprintf("p%d/%s", i, fn),
+			Function: fn,
+			Peer:     p2p.NodeID(i),
+			Qp:       qp,
+		}}
+		eng := bcp.NewEngine(host, ledger, reg, oracle, comps, opts.BCP)
+		med := media.Attach(host, eng.LocalComponent)
+		tb.Peers = append(tb.Peers, &TestbedPeer{
+			Node: host, Ledger: ledger, DHT: dn, Registry: reg,
+			Engine: eng, Media: med, Components: comps,
+		})
+		dhtNodes[i] = dn
+	}
+	// Static DHT construction happens before any traffic, so direct calls
+	// are safe; registrations then flow as real messages.
+	dht.Build(dhtNodes)
+	for i, p := range tb.Peers {
+		p := p
+		nw.Exec(p2p.NodeID(i), func() {
+			for _, c := range p.Components {
+				p.Registry.Register(c)
+			}
+		})
+	}
+	tb.Settle(2 * time.Second)
+	return tb
+}
+
+// Settle sleeps for d of protocol time (compressed by the speedup), letting
+// in-flight traffic drain.
+func (tb *Testbed) Settle(d time.Duration) {
+	time.Sleep(tb.Net.Scale(d))
+}
+
+// Compose runs one composition from req.Source and blocks until the result
+// arrives (in wall time; the Result's durations are wall-clock too — apply
+// Net.Unscale for protocol time).
+func (tb *Testbed) Compose(req *service.Request) bcp.Result {
+	ch := make(chan bcp.Result, 1)
+	tb.Net.Exec(req.Source, func() {
+		tb.Peers[int(req.Source)].Engine.Compose(req, func(r bcp.Result) {
+			ch <- r
+		})
+	})
+	return <-ch
+}
+
+// Close stops all host goroutines.
+func (tb *Testbed) Close() { tb.Net.Close() }
+
+// Replicas counts live components providing fn.
+func (tb *Testbed) Replicas(fn string) int {
+	n := 0
+	for _, p := range tb.Peers {
+		for _, c := range p.Components {
+			if c.Function == fn {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,16 @@
+package media
+
+import (
+	"encoding/gob"
+	"sync"
+)
+
+var gobOnce sync.Once
+
+// RegisterGob registers the streaming data plane's payload types with
+// encoding/gob for real network transports. Safe to call multiple times.
+func RegisterGob() {
+	gobOnce.Do(func() {
+		gob.RegisterName("media.ADU", ADU{})
+	})
+}

@@ -1,0 +1,156 @@
+// Package media implements the six multimedia service components of the
+// paper's prototype (§6.2) — weather ticker, stock ticker, video
+// up-scaling, down-scaling, sub-image extraction, and re-quantification —
+// over a synthetic video-frame format, plus the streaming data plane that
+// pushes application data units hop by hop through a composed service
+// graph.
+package media
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Frame is a synthetic video application data unit flowing through a
+// composed service session.
+type Frame struct {
+	Seq      int
+	Width    int
+	Height   int
+	Quant    int      // quantization level; 1 is lossless, larger is coarser
+	Overlays []string // embedded tickers, in application order
+	Cropped  bool     // a sub-image was extracted
+	// Trace records the component IDs that processed this frame, for
+	// end-to-end verification.
+	Trace []string
+}
+
+// NewFrame returns a fresh frame of the given dimensions at quantization 1.
+func NewFrame(seq, width, height int) Frame {
+	return Frame{Seq: seq, Width: width, Height: height, Quant: 1}
+}
+
+// Bytes approximates the encoded frame size: 3 bytes per pixel divided by
+// the quantization level.
+func (f Frame) Bytes() int {
+	q := f.Quant
+	if q < 1 {
+		q = 1
+	}
+	return f.Width * f.Height * 3 / q
+}
+
+// String summarizes the frame for logs.
+func (f Frame) String() string {
+	return fmt.Sprintf("frame %d %dx%d q=%d overlays=[%s] cropped=%v",
+		f.Seq, f.Width, f.Height, f.Quant, strings.Join(f.Overlays, ","), f.Cropped)
+}
+
+// Transform is one multimedia service function's data-plane behaviour.
+type Transform interface {
+	// Name is the service function name this transform implements.
+	Name() string
+	// Apply processes one input ADU into one output ADU (§2.2).
+	Apply(f Frame) Frame
+}
+
+// The six prototype functions.
+const (
+	FnWeatherTicker = "weather-ticker"
+	FnStockTicker   = "stock-ticker"
+	FnUpScale       = "upscale"
+	FnDownScale     = "downscale"
+	FnSubImage      = "subimage"
+	FnRequant       = "requant"
+)
+
+// Functions lists all six prototype function names.
+func Functions() []string {
+	return []string{
+		FnWeatherTicker, FnStockTicker, FnUpScale,
+		FnDownScale, FnSubImage, FnRequant,
+	}
+}
+
+// ForFunction returns the transform implementing the named function.
+func ForFunction(name string) (Transform, bool) {
+	switch name {
+	case FnWeatherTicker:
+		return weatherTicker{}, true
+	case FnStockTicker:
+		return stockTicker{}, true
+	case FnUpScale:
+		return upScale{}, true
+	case FnDownScale:
+		return downScale{}, true
+	case FnSubImage:
+		return subImage{}, true
+	case FnRequant:
+		return requant{}, true
+	default:
+		return nil, false
+	}
+}
+
+type weatherTicker struct{}
+
+func (weatherTicker) Name() string { return FnWeatherTicker }
+func (weatherTicker) Apply(f Frame) Frame {
+	f.Overlays = append(append([]string(nil), f.Overlays...), "weather")
+	return f
+}
+
+type stockTicker struct{}
+
+func (stockTicker) Name() string { return FnStockTicker }
+func (stockTicker) Apply(f Frame) Frame {
+	f.Overlays = append(append([]string(nil), f.Overlays...), "stock")
+	return f
+}
+
+// upScale doubles both dimensions.
+type upScale struct{}
+
+func (upScale) Name() string { return FnUpScale }
+func (upScale) Apply(f Frame) Frame {
+	f.Width *= 2
+	f.Height *= 2
+	return f
+}
+
+// downScale halves both dimensions (minimum 1x1).
+type downScale struct{}
+
+func (downScale) Name() string { return FnDownScale }
+func (downScale) Apply(f Frame) Frame {
+	f.Width = max1(f.Width / 2)
+	f.Height = max1(f.Height / 2)
+	return f
+}
+
+// subImage crops the centered half-size region.
+type subImage struct{}
+
+func (subImage) Name() string { return FnSubImage }
+func (subImage) Apply(f Frame) Frame {
+	f.Width = max1(f.Width / 2)
+	f.Height = max1(f.Height / 2)
+	f.Cropped = true
+	return f
+}
+
+// requant coarsens quantization by one step.
+type requant struct{}
+
+func (requant) Name() string { return FnRequant }
+func (requant) Apply(f Frame) Frame {
+	f.Quant++
+	return f
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,157 @@
+// Package qos implements the quality-of-service and resource algebra used
+// throughout SpiderNet.
+//
+// Following the paper's system model (§2.1), all QoS metrics are treated as
+// additive: a multiplicative metric such as data loss rate is transformed
+// into an additive one with a logarithmic function. Bandwidth is a resource
+// metric, not a QoS metric, and is handled by the resource types in this
+// package.
+package qos
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Metric identifies one additive QoS dimension.
+type Metric int
+
+// The QoS metrics carried by every probe and accumulated along a service
+// graph. Loss rate is stored in its additive (log-transformed) form; use
+// LossToAdditive and AdditiveToLoss to convert.
+const (
+	Delay  Metric = iota // end-to-end delay, milliseconds
+	Loss                 // additive-transformed data loss rate
+	Jitter               // delay variation, milliseconds
+
+	NumMetrics // number of QoS metrics; keep last
+)
+
+// String returns the canonical lower-case metric name.
+func (m Metric) String() string {
+	switch m {
+	case Delay:
+		return "delay"
+	case Loss:
+		return "loss"
+	case Jitter:
+		return "jitter"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Vector is an additive QoS vector Q = [q_1 ... q_m]. The zero value is the
+// identity element of accumulation (a perfect, cost-free hop).
+type Vector [NumMetrics]float64
+
+// Add returns the component-wise sum v + o. Because every metric is additive,
+// this is the accumulation step performed at each probed hop.
+func (v Vector) Add(o Vector) Vector {
+	var r Vector
+	for i := range v {
+		r[i] = v[i] + o[i]
+	}
+	return r
+}
+
+// Sub returns the component-wise difference v - o.
+func (v Vector) Sub(o Vector) Vector {
+	var r Vector
+	for i := range v {
+		r[i] = v[i] - o[i]
+	}
+	return r
+}
+
+// Max returns the component-wise maximum of v and o. It is used when merging
+// parallel branches of a DAG service graph: the QoS of the merged graph is
+// bounded by the worst branch on each metric.
+func (v Vector) Max(o Vector) Vector {
+	var r Vector
+	for i := range v {
+		r[i] = math.Max(v[i], o[i])
+	}
+	return r
+}
+
+// Satisfies reports whether v meets the requirement req on every metric,
+// i.e. v[i] <= req[i] for all i. All metrics are accumulated costs, so
+// smaller is better.
+func (v Vector) Satisfies(req Vector) bool {
+	for i := range v {
+		if v[i] > req[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether every component is finite and non-negative.
+func (v Vector) Valid() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Ratio returns sum_i v[i]/req[i], the normalized QoS utilisation used by the
+// backup-count formula (Eq. 2 of the paper). Requirement components that are
+// zero or non-finite are skipped to keep the ratio well defined.
+func (v Vector) Ratio(req Vector) float64 {
+	var s float64
+	for i := range v {
+		if req[i] > 0 && !math.IsInf(req[i], 1) {
+			s += v[i] / req[i]
+		}
+	}
+	return s
+}
+
+// String renders the vector with metric names, e.g.
+// "delay=120.0 loss=0.010 jitter=4.0".
+func (v Vector) String() string {
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.3f", Metric(i), x)
+	}
+	return b.String()
+}
+
+// Unbounded returns a requirement vector that any finite QoS vector
+// satisfies. It is used by baselines that ignore QoS requirements.
+func Unbounded() Vector {
+	var v Vector
+	for i := range v {
+		v[i] = math.Inf(1)
+	}
+	return v
+}
+
+// LossToAdditive converts a loss probability p in [0,1) into its additive
+// form -ln(1-p), so that loss rates compose by addition: if two independent
+// stages lose fractions p1 and p2, the composed loss 1-(1-p1)(1-p2) has
+// additive form equal to the sum of the stages' additive forms.
+func LossToAdditive(p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p)
+}
+
+// AdditiveToLoss inverts LossToAdditive.
+func AdditiveToLoss(a float64) float64 {
+	if a < 0 {
+		a = 0
+	}
+	return -math.Expm1(-a)
+}

@@ -1,0 +1,206 @@
+package qos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func vec(d, l, j float64) Vector {
+	var v Vector
+	v[Delay] = d
+	v[Loss] = l
+	v[Jitter] = j
+	return v
+}
+
+func TestVectorAdd(t *testing.T) {
+	a := vec(10, 0.1, 2)
+	b := vec(5, 0.2, 1)
+	got := a.Add(b)
+	want := vec(15, 0.3, 3)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Add metric %v: got %v want %v", Metric(i), got[i], want[i])
+		}
+	}
+}
+
+func TestVectorSub(t *testing.T) {
+	a := vec(10, 0.3, 2)
+	b := vec(4, 0.1, 2)
+	got := a.Sub(b)
+	want := vec(6, 0.2, 0)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Sub metric %v: got %v want %v", Metric(i), got[i], want[i])
+		}
+	}
+}
+
+func TestVectorMax(t *testing.T) {
+	a := vec(10, 0.1, 5)
+	b := vec(5, 0.2, 5)
+	got := a.Max(b)
+	if got[Delay] != 10 || got[Loss] != 0.2 || got[Jitter] != 5 {
+		t.Fatalf("Max: got %v", got)
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	req := vec(100, 1, 10)
+	cases := []struct {
+		v    Vector
+		want bool
+	}{
+		{vec(50, 0.5, 5), true},
+		{vec(100, 1, 10), true}, // boundary is inclusive
+		{vec(101, 0.5, 5), false},
+		{vec(50, 1.5, 5), false},
+		{vec(50, 0.5, 15), false},
+		{Vector{}, true}, // zero vector satisfies any non-negative requirement
+	}
+	for i, c := range cases {
+		if got := c.v.Satisfies(req); got != c.want {
+			t.Errorf("case %d: Satisfies(%v, %v) = %v, want %v", i, c.v, req, got, c.want)
+		}
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	huge := vec(1e18, 1e18, 1e18)
+	if !huge.Satisfies(Unbounded()) {
+		t.Fatal("huge vector should satisfy Unbounded requirement")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !vec(1, 2, 3).Valid() {
+		t.Error("finite non-negative vector should be valid")
+	}
+	if vec(-1, 2, 3).Valid() {
+		t.Error("negative component should be invalid")
+	}
+	if vec(math.NaN(), 2, 3).Valid() {
+		t.Error("NaN component should be invalid")
+	}
+	if vec(math.Inf(1), 2, 3).Valid() {
+		t.Error("infinite component should be invalid")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	v := vec(50, 0.5, 5)
+	req := vec(100, 1, 10)
+	got := v.Ratio(req)
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("Ratio = %v, want 1.5", got)
+	}
+	// Zero and infinite requirement components are skipped.
+	req2 := vec(100, 0, math.Inf(1))
+	if got := v.Ratio(req2); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Ratio with degenerate requirement = %v, want 0.5", got)
+	}
+}
+
+func TestLossTransformRoundTrip(t *testing.T) {
+	for _, p := range []float64{0, 0.001, 0.01, 0.1, 0.5, 0.9, 0.999} {
+		a := LossToAdditive(p)
+		back := AdditiveToLoss(a)
+		if math.Abs(back-p) > 1e-9 {
+			t.Errorf("round trip p=%v: additive=%v back=%v", p, a, back)
+		}
+	}
+	if !math.IsInf(LossToAdditive(1), 1) {
+		t.Error("LossToAdditive(1) should be +Inf")
+	}
+	if LossToAdditive(-0.5) != 0 {
+		t.Error("negative loss should clamp to 0")
+	}
+}
+
+// Property: the additive loss form composes correctly, i.e. for independent
+// stages the additive forms sum to the additive form of the composed loss.
+func TestLossAdditivityProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p1 := float64(a) / 65536 * 0.99
+		p2 := float64(b) / 65536 * 0.99
+		composed := 1 - (1-p1)*(1-p2)
+		lhs := LossToAdditive(p1) + LossToAdditive(p2)
+		rhs := LossToAdditive(composed)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is commutative and associative, with the zero vector as
+// identity.
+func TestVectorMonoidProperties(t *testing.T) {
+	gen := func(r *rand.Rand) Vector {
+		var v Vector
+		for i := range v {
+			v[i] = r.Float64() * 1000
+		}
+		return v
+	}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := gen(r), gen(r), gen(r)
+		ab := a.Add(b)
+		ba := b.Add(a)
+		for i := range ab {
+			if math.Abs(ab[i]-ba[i]) > 1e-9 {
+				t.Fatalf("Add not commutative: %v vs %v", ab, ba)
+			}
+		}
+		l := a.Add(b).Add(c)
+		rr := a.Add(b.Add(c))
+		for i := range l {
+			if math.Abs(l[i]-rr[i]) > 1e-6 {
+				t.Fatalf("Add not associative: %v vs %v", l, rr)
+			}
+		}
+		if az := a.Add(Vector{}); az != a {
+			t.Fatalf("zero not identity: %v vs %v", az, a)
+		}
+	}
+}
+
+// Property: Satisfies is monotone — if v satisfies req then any vector
+// dominated by v also satisfies req.
+func TestSatisfiesMonotoneProperty(t *testing.T) {
+	f := func(d, l, j, scale uint8) bool {
+		v := vec(float64(d), float64(l), float64(j))
+		req := vec(200, 200, 200)
+		smaller := v
+		for i := range smaller {
+			smaller[i] *= float64(scale) / 255
+		}
+		if v.Satisfies(req) && !smaller.Satisfies(req) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Delay.String() != "delay" || Loss.String() != "loss" || Jitter.String() != "jitter" {
+		t.Fatal("unexpected metric names")
+	}
+	if Metric(99).String() != "metric(99)" {
+		t.Fatal("unexpected fallback name")
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	s := vec(1, 2, 3).String()
+	if s != "delay=1.000 loss=2.000 jitter=3.000" {
+		t.Fatalf("String = %q", s)
+	}
+}

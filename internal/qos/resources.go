@@ -1,0 +1,192 @@
+package qos
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ResourceKind identifies one end-system resource dimension.
+type ResourceKind int
+
+// End-system resource types tracked per peer. Bandwidth is a link resource
+// and is represented separately (see Bandwidth), matching the paper's model
+// where the cost function weighs n end-system resources plus bandwidth as
+// the (n+1)'th term.
+const (
+	CPU    ResourceKind = iota // abstract CPU units
+	Memory                     // megabytes
+
+	NumResources // number of end-system resource kinds; keep last
+)
+
+// String returns the canonical lower-case resource name.
+func (k ResourceKind) String() string {
+	switch k {
+	case CPU:
+		return "cpu"
+	case Memory:
+		return "memory"
+	default:
+		return fmt.Sprintf("resource(%d)", int(k))
+	}
+}
+
+// Resources is a vector R of end-system resource quantities: either a
+// component's requirement or a peer's availability.
+type Resources [NumResources]float64
+
+// Add returns the component-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	var s Resources
+	for i := range r {
+		s[i] = r[i] + o[i]
+	}
+	return s
+}
+
+// Sub returns the component-wise difference r - o.
+func (r Resources) Sub(o Resources) Resources {
+	var s Resources
+	for i := range r {
+		s[i] = r[i] - o[i]
+	}
+	return s
+}
+
+// Fits reports whether a requirement r can be admitted against an
+// availability avail, i.e. r[i] <= avail[i] for every resource kind.
+func (r Resources) Fits(avail Resources) bool {
+	for i := range r {
+		if r[i] > avail[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NonNegative reports whether every component is >= 0. A peer's availability
+// must remain non-negative through any sequence of allocations and releases.
+func (r Resources) NonNegative() bool {
+	for _, x := range r {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector with resource names.
+func (r Resources) String() string {
+	var b strings.Builder
+	for i, x := range r {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.2f", ResourceKind(i), x)
+	}
+	return b.String()
+}
+
+// Bandwidth is an overlay-link resource in kilobits per second.
+type Bandwidth float64
+
+// Ledger tracks a peer's resource availability under soft (probing-time) and
+// hard (session-time) allocations. Soft allocations model the paper's
+// temporary reservation made while a probe is outstanding (§4.2 step 2.1):
+// they are released either by expiry or by being committed into hard
+// allocations when the session-setup ACK arrives.
+type Ledger struct {
+	capacity Resources
+	hard     Resources
+	soft     Resources
+}
+
+// NewLedger returns a ledger for a peer with the given total capacity.
+func NewLedger(capacity Resources) *Ledger {
+	return &Ledger{capacity: capacity}
+}
+
+// Capacity returns the peer's total resource capacity.
+func (l *Ledger) Capacity() Resources { return l.capacity }
+
+// Available returns capacity minus all hard and soft allocations.
+func (l *Ledger) Available() Resources {
+	return l.capacity.Sub(l.hard).Sub(l.soft)
+}
+
+// AvailableHard returns capacity minus hard allocations only. This is the
+// figure reported in probe state: soft allocations are pessimistically
+// counted by Reserve below but are not long-lived.
+func (l *Ledger) AvailableHard() Resources {
+	return l.capacity.Sub(l.hard)
+}
+
+// Reserve attempts a soft allocation of r. It fails (returning false) if r
+// does not fit into the currently available resources, which is exactly the
+// conflicting-admission case soft reservation exists to prevent.
+func (l *Ledger) Reserve(r Resources) bool {
+	if !r.Fits(l.Available()) {
+		return false
+	}
+	l.soft = l.soft.Add(r)
+	return true
+}
+
+// Release cancels a soft allocation previously made with Reserve.
+func (l *Ledger) Release(r Resources) {
+	l.soft = l.soft.Sub(r)
+	l.clampNonNegative(&l.soft)
+}
+
+// Commit converts a soft allocation into a hard one when the session is
+// confirmed.
+func (l *Ledger) Commit(r Resources) {
+	l.soft = l.soft.Sub(r)
+	l.clampNonNegative(&l.soft)
+	l.hard = l.hard.Add(r)
+}
+
+// CommitDirect makes a hard allocation without a prior soft reservation
+// (used by baselines that skip probing). It reports whether the allocation
+// fit.
+func (l *Ledger) CommitDirect(r Resources) bool {
+	if !r.Fits(l.Available()) {
+		return false
+	}
+	l.hard = l.hard.Add(r)
+	return true
+}
+
+// Free releases a hard allocation when a session tears down.
+func (l *Ledger) Free(r Resources) {
+	l.hard = l.hard.Sub(r)
+	l.clampNonNegative(&l.hard)
+}
+
+// HardAllocated returns the sum of all hard allocations.
+func (l *Ledger) HardAllocated() Resources { return l.hard }
+
+// SoftAllocated returns the sum of all outstanding soft allocations.
+func (l *Ledger) SoftAllocated() Resources { return l.soft }
+
+// Utilization returns the maximum over resource kinds of
+// hard-allocated/capacity, a scalar load figure in [0,1] used for load
+// statistics. Kinds with zero capacity are skipped.
+func (l *Ledger) Utilization() float64 {
+	var u float64
+	for i := range l.capacity {
+		if l.capacity[i] > 0 {
+			u = math.Max(u, l.hard[i]/l.capacity[i])
+		}
+	}
+	return u
+}
+
+func (l *Ledger) clampNonNegative(r *Resources) {
+	for i := range r {
+		if r[i] < 0 {
+			r[i] = 0
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package qos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func res(cpu, mem float64) Resources {
+	var r Resources
+	r[CPU] = cpu
+	r[Memory] = mem
+	return r
+}
+
+func TestResourcesFits(t *testing.T) {
+	avail := res(10, 100)
+	if !res(5, 50).Fits(avail) {
+		t.Error("smaller requirement should fit")
+	}
+	if !res(10, 100).Fits(avail) {
+		t.Error("exact requirement should fit")
+	}
+	if res(11, 50).Fits(avail) {
+		t.Error("cpu over capacity should not fit")
+	}
+	if res(5, 101).Fits(avail) {
+		t.Error("memory over capacity should not fit")
+	}
+}
+
+func TestLedgerReserveCommitFree(t *testing.T) {
+	l := NewLedger(res(10, 100))
+	req := res(4, 40)
+
+	if !l.Reserve(req) {
+		t.Fatal("first reservation should succeed")
+	}
+	if got := l.Available(); got != res(6, 60) {
+		t.Fatalf("Available after reserve = %v", got)
+	}
+	if got := l.AvailableHard(); got != res(10, 100) {
+		t.Fatalf("AvailableHard should ignore soft allocations, got %v", got)
+	}
+
+	l.Commit(req)
+	if got := l.Available(); got != res(6, 60) {
+		t.Fatalf("Available after commit = %v", got)
+	}
+	if got := l.AvailableHard(); got != res(6, 60) {
+		t.Fatalf("AvailableHard after commit = %v", got)
+	}
+	if got := l.SoftAllocated(); got != (Resources{}) {
+		t.Fatalf("soft should be empty after commit, got %v", got)
+	}
+
+	l.Free(req)
+	if got := l.Available(); got != res(10, 100) {
+		t.Fatalf("Available after free = %v", got)
+	}
+}
+
+func TestLedgerConflictingAdmission(t *testing.T) {
+	// Two concurrent probes each wanting 60% of capacity: the soft
+	// reservation must reject the second one.
+	l := NewLedger(res(10, 100))
+	req := res(6, 60)
+	if !l.Reserve(req) {
+		t.Fatal("first probe should reserve")
+	}
+	if l.Reserve(req) {
+		t.Fatal("second probe must be rejected while first holds a soft reservation")
+	}
+	l.Release(req)
+	if !l.Reserve(req) {
+		t.Fatal("after release, reservation should succeed again")
+	}
+}
+
+func TestLedgerCommitDirect(t *testing.T) {
+	l := NewLedger(res(10, 100))
+	if !l.CommitDirect(res(10, 100)) {
+		t.Fatal("full-capacity direct commit should succeed")
+	}
+	if l.CommitDirect(res(1, 1)) {
+		t.Fatal("overcommit must fail")
+	}
+	l.Free(res(10, 100))
+	if got := l.Available(); got != res(10, 100) {
+		t.Fatalf("Available after free = %v", got)
+	}
+}
+
+func TestLedgerUtilization(t *testing.T) {
+	l := NewLedger(res(10, 100))
+	if u := l.Utilization(); u != 0 {
+		t.Fatalf("empty ledger utilization = %v", u)
+	}
+	l.CommitDirect(res(5, 80))
+	if u := l.Utilization(); u != 0.8 {
+		t.Fatalf("utilization = %v, want 0.8 (max over kinds)", u)
+	}
+}
+
+func TestLedgerOverReleaseClamps(t *testing.T) {
+	l := NewLedger(res(10, 100))
+	l.Release(res(5, 5)) // release without reserve must not go negative
+	if !l.SoftAllocated().NonNegative() {
+		t.Fatal("soft allocation went negative")
+	}
+	l.Free(res(5, 5))
+	if !l.HardAllocated().NonNegative() {
+		t.Fatal("hard allocation went negative")
+	}
+	if got := l.Available(); got != res(10, 100) {
+		t.Fatalf("Available = %v, want full capacity", got)
+	}
+}
+
+// Property: under any random sequence of reserve/release/commit/free pairs,
+// availability never exceeds capacity and never admits more than capacity.
+func TestLedgerInvariantProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		cap := res(float64(1+r.Intn(20)), float64(10+r.Intn(200)))
+		l := NewLedger(cap)
+		type alloc struct {
+			r    Resources
+			hard bool
+		}
+		var live []alloc
+		for step := 0; step < 300; step++ {
+			switch r.Intn(4) {
+			case 0: // reserve
+				req := res(r.Float64()*cap[CPU], r.Float64()*cap[Memory])
+				if l.Reserve(req) {
+					live = append(live, alloc{req, false})
+				}
+			case 1: // commit a random soft allocation
+				for i, a := range live {
+					if !a.hard {
+						l.Commit(a.r)
+						live[i].hard = true
+						break
+					}
+				}
+			case 2: // release a random soft allocation
+				for i, a := range live {
+					if !a.hard {
+						l.Release(a.r)
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			case 3: // free a random hard allocation
+				for i, a := range live {
+					if a.hard {
+						l.Free(a.r)
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			}
+			if !l.Available().NonNegative() {
+				t.Fatalf("trial %d step %d: available went negative: %v", trial, step, l.Available())
+			}
+			total := l.HardAllocated().Add(l.SoftAllocated())
+			if !total.Fits(cap.Add(res(1e-9, 1e-9))) {
+				t.Fatalf("trial %d step %d: allocated %v exceeds capacity %v", trial, step, total, cap)
+			}
+		}
+	}
+}
+
+func TestResourceKindString(t *testing.T) {
+	if CPU.String() != "cpu" || Memory.String() != "memory" {
+		t.Fatal("unexpected resource names")
+	}
+	if ResourceKind(9).String() != "resource(9)" {
+		t.Fatal("unexpected fallback")
+	}
+}
+
+func TestResourcesString(t *testing.T) {
+	if s := res(1, 2).String(); s != "cpu=1.00 memory=2.00" {
+		t.Fatalf("String = %q", s)
+	}
+}

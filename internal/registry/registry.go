@@ -1,0 +1,100 @@
+// Package registry implements SpiderNet's decentralized service discovery
+// (§3): a keyword meta-data layer on top of the DHT. Registering a component
+// stores its static meta-data under the secure hash of its function name, so
+// all functionally duplicated components land on the same root peer; a
+// discovery for that function name retrieves the whole duplicate list in one
+// DHT lookup.
+package registry
+
+import (
+	"time"
+
+	"repro/internal/dht"
+	"repro/internal/service"
+)
+
+// metaSize approximates the serialized size of one component's meta-data on
+// the wire, for overhead accounting.
+const metaSize = 96
+
+// Registry is one peer's interface to the discovery substrate.
+type Registry struct {
+	node *dht.Node
+}
+
+// New wraps a DHT node in the discovery meta-data layer.
+func New(node *dht.Node) *Registry { return &Registry{node: node} }
+
+// FunctionKey returns the DHT key a function name maps to.
+func FunctionKey(function string) dht.ID { return dht.Key("fn:" + function) }
+
+// Register shares a service component: its meta-data is stored in the DHT
+// under its function name's key.
+func (r *Registry) Register(c service.Component) {
+	r.node.Put(FunctionKey(c.Function), c, metaSize)
+}
+
+// Discover retrieves the meta-data list of all components providing
+// function. cb fires exactly once with the duplicate list (possibly empty)
+// and the DHT hop count, or ok=false if the lookup timed out.
+func (r *Registry) Discover(function string, timeout time.Duration, cb func(comps []service.Component, hops int, ok bool)) {
+	r.node.Get(FunctionKey(function), timeout, func(items []any, hops int, ok bool) {
+		if !ok {
+			cb(nil, 0, false)
+			return
+		}
+		comps := make([]service.Component, 0, len(items))
+		seen := make(map[string]bool, len(items))
+		for _, it := range items {
+			if c, isComp := it.(service.Component); isComp && !seen[c.ID] {
+				seen[c.ID] = true
+				comps = append(comps, c)
+			}
+		}
+		cb(comps, hops, true)
+	})
+}
+
+// Table is the result of resolving every function of a request: function
+// name → duplicate component list.
+type Table map[string][]service.Component
+
+// DiscoverAll resolves all functions concurrently and fires cb once when
+// every lookup has completed. ok is false if any lookup timed out. This is
+// the "decentralized service discovery" phase of session setup whose
+// duration Figure 10 reports separately.
+func (r *Registry) DiscoverAll(functions []string, timeout time.Duration, cb func(t Table, ok bool)) {
+	// Deduplicate function names first.
+	uniq := make([]string, 0, len(functions))
+	seen := make(map[string]bool, len(functions))
+	for _, f := range functions {
+		if !seen[f] {
+			seen[f] = true
+			uniq = append(uniq, f)
+		}
+	}
+	t := make(Table, len(uniq))
+	remaining := len(uniq)
+	failed := false
+	if remaining == 0 {
+		cb(t, true)
+		return
+	}
+	for _, f := range uniq {
+		f := f
+		r.Discover(f, timeout, func(comps []service.Component, _ int, ok bool) {
+			if !ok {
+				failed = true
+			} else {
+				t[f] = comps
+			}
+			remaining--
+			if remaining == 0 {
+				cb(t, !failed)
+			}
+		})
+	}
+}
+
+// DHT exposes the underlying DHT node (e.g. to read its identifier).
+func (r *Registry) DHT() *dht.Node { return r.node }

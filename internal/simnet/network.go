@@ -1,0 +1,175 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/p2p"
+)
+
+// LatencyFunc models one-way message latency between two peers.
+type LatencyFunc func(from, to p2p.NodeID) time.Duration
+
+// Stats accumulates network-level overhead counters. The experiments use
+// these to compare SpiderNet's probing overhead with the baselines'
+// flooding / global-state-update overhead.
+type Stats struct {
+	MessagesSent int64
+	BytesSent    int64
+	Delivered    int64
+	Dropped      int64 // destination dead or unknown
+	Unhandled    int64 // delivered but no handler registered
+	ByType       map[string]int64
+}
+
+// Network is the simulated message-passing layer connecting simNodes. All
+// operation happens on the owning Sim's event loop.
+type Network struct {
+	sim     *Sim
+	rng     *rand.Rand
+	latency LatencyFunc
+	nodes   map[p2p.NodeID]*simNode
+	stats   Stats
+}
+
+// NewNetwork creates a network whose message delays come from latency and
+// whose randomness comes from rng (shared by all nodes; determinism follows
+// from the single-threaded event loop).
+func NewNetwork(sim *Sim, latency LatencyFunc, rng *rand.Rand) *Network {
+	return &Network{
+		sim:     sim,
+		rng:     rng,
+		latency: latency,
+		nodes:   make(map[p2p.NodeID]*simNode),
+		stats:   Stats{ByType: make(map[string]int64)},
+	}
+}
+
+// ConstantLatency returns a LatencyFunc with a fixed one-way delay,
+// convenient in tests.
+func ConstantLatency(d time.Duration) LatencyFunc {
+	return func(_, _ p2p.NodeID) time.Duration { return d }
+}
+
+// Sim returns the scheduler driving this network.
+func (nw *Network) Sim() *Sim { return nw.sim }
+
+// Stats returns a snapshot of the overhead counters.
+func (nw *Network) Stats() Stats {
+	s := nw.stats
+	s.ByType = make(map[string]int64, len(nw.stats.ByType))
+	for k, v := range nw.stats.ByType {
+		s.ByType[k] = v
+	}
+	return s
+}
+
+// ResetStats zeroes the overhead counters.
+func (nw *Network) ResetStats() {
+	nw.stats = Stats{ByType: make(map[string]int64)}
+}
+
+// AddNode creates and registers a live node with the given ID.
+func (nw *Network) AddNode(id p2p.NodeID) p2p.Node {
+	if _, dup := nw.nodes[id]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %d", id))
+	}
+	n := &simNode{id: id, net: nw, alive: true, handlers: make(map[string]p2p.Handler)}
+	nw.nodes[id] = n
+	return n
+}
+
+// Node returns the node with the given ID, or nil.
+func (nw *Network) Node(id p2p.NodeID) p2p.Node {
+	n, ok := nw.nodes[id]
+	if !ok {
+		return nil
+	}
+	return n
+}
+
+// NumNodes returns the number of registered nodes (alive or failed).
+func (nw *Network) NumNodes() int { return len(nw.nodes) }
+
+// Fail marks a node as crashed: in-flight and future messages to it are
+// dropped and its pending timers never fire. Handlers stay registered so the
+// node can be recovered later.
+func (nw *Network) Fail(id p2p.NodeID) {
+	if n, ok := nw.nodes[id]; ok && n.alive {
+		n.alive = false
+		n.epoch++
+	}
+}
+
+// Recover brings a failed node back up. Protocol state on the node is
+// whatever the protocol structs still hold; SpiderNet assumes stateless or
+// soft-state components (§5), so this matches the paper's model.
+func (nw *Network) Recover(id p2p.NodeID) {
+	if n, ok := nw.nodes[id]; ok && !n.alive {
+		n.alive = true
+	}
+}
+
+// Alive reports whether the node exists and is up.
+func (nw *Network) Alive(id p2p.NodeID) bool {
+	n, ok := nw.nodes[id]
+	return ok && n.alive
+}
+
+func (nw *Network) send(msg p2p.Message) {
+	nw.stats.MessagesSent++
+	nw.stats.BytesSent += int64(msg.Size)
+	nw.stats.ByType[msg.Type]++
+	d := nw.latency(msg.From, msg.To)
+	nw.sim.Schedule(d, func() { nw.deliver(msg) })
+}
+
+func (nw *Network) deliver(msg p2p.Message) {
+	dst, ok := nw.nodes[msg.To]
+	if !ok || !dst.alive {
+		nw.stats.Dropped++
+		return
+	}
+	h, ok := dst.handlers[msg.Type]
+	if !ok {
+		nw.stats.Unhandled++
+		return
+	}
+	nw.stats.Delivered++
+	h(dst, msg)
+}
+
+// simNode implements p2p.Node on the event loop.
+type simNode struct {
+	id       p2p.NodeID
+	net      *Network
+	alive    bool
+	epoch    uint64 // bumped on failure; stale timers check it
+	handlers map[string]p2p.Handler
+}
+
+func (n *simNode) ID() p2p.NodeID     { return n.id }
+func (n *simNode) Now() time.Duration { return n.net.sim.Now() }
+func (n *simNode) Rand() *rand.Rand   { return n.net.rng }
+func (n *simNode) Alive() bool        { return n.alive }
+
+func (n *simNode) Handle(msgType string, h p2p.Handler) { n.handlers[msgType] = h }
+
+func (n *simNode) Send(msg p2p.Message) {
+	if !n.alive {
+		return // a crashed peer sends nothing
+	}
+	msg.From = n.id
+	n.net.send(msg)
+}
+
+func (n *simNode) After(d time.Duration, fn func()) p2p.CancelFunc {
+	epoch := n.epoch
+	cancel := n.net.sim.Schedule(d, func() {
+		if n.alive && n.epoch == epoch {
+			fn()
+		}
+	})
+	return p2p.CancelFunc(cancel)
+}

@@ -1,0 +1,118 @@
+// Package simnet is SpiderNet's deterministic discrete-event simulation
+// runtime: a virtual clock with an event heap, and a message-passing network
+// of peers implementing the p2p.Node interface. It replaces the paper's C++
+// event-driven P2P overlay simulator.
+package simnet
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Sim is a discrete-event scheduler over a virtual clock. It is not safe for
+// concurrent use: everything runs in the single simulation goroutine, which
+// is what makes runs bit-for-bit reproducible.
+type Sim struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64 // FIFO tie-break for simultaneous events
+	fn        func()
+	cancelled bool
+}
+
+// NewSim returns a simulator with the clock at zero and no pending events.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule runs fn after delay d of virtual time. Negative delays are
+// clamped to zero. The returned function cancels the event if it has not yet
+// fired.
+func (s *Sim) Schedule(d time.Duration, fn func()) func() {
+	if d < 0 {
+		d = 0
+	}
+	e := &event{at: s.now + d, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return func() { e.cancelled = true }
+}
+
+// Step executes the earliest pending event, advancing the clock to its
+// timestamp. It returns false if no events remain.
+func (s *Sim) Step() bool {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes all events with timestamps <= until, then advances the clock
+// to until.
+func (s *Sim) Run(until time.Duration) {
+	for s.events.Len() > 0 {
+		e := s.events[0]
+		if e.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunUntilIdle executes events until none remain. Protocols with periodic
+// timers never go idle; use Run with a horizon for those.
+func (s *Sim) RunUntilIdle() {
+	for s.Step() {
+	}
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

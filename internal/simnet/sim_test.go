@@ -1,0 +1,128 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	s.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	s.RunUntilIdle()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order=%v", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock=%v", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNegativeDelayClamps(t *testing.T) {
+	s := NewSim()
+	fired := false
+	s.Schedule(-time.Second, func() { fired = true })
+	s.RunUntilIdle()
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("clock=%v, want 0", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewSim()
+	fired := false
+	cancel := s.Schedule(time.Millisecond, func() { fired = true })
+	cancel()
+	s.RunUntilIdle()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	cancel() // double-cancel is a no-op
+}
+
+func TestRunHorizon(t *testing.T) {
+	s := NewSim()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.Run(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired=%v", fired)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("clock=%v", s.Now())
+	}
+	// Horizon with no events still advances the clock.
+	s.Run(10 * time.Second)
+	if s.Now() != 10*time.Second || len(fired) != 3 {
+		t.Fatalf("clock=%v fired=%v", s.Now(), fired)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var times []time.Duration
+	s.Schedule(time.Second, func() {
+		times = append(times, s.Now())
+		s.Schedule(time.Second, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.RunUntilIdle()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Fatalf("times=%v", times)
+	}
+}
+
+func TestPending(t *testing.T) {
+	s := NewSim()
+	c1 := s.Schedule(time.Second, func() {})
+	s.Schedule(time.Second, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending=%d", s.Pending())
+	}
+	c1()
+	if s.Pending() != 1 {
+		t.Fatalf("Pending after cancel=%d", s.Pending())
+	}
+	s.RunUntilIdle()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after run=%d", s.Pending())
+	}
+}
+
+func TestStepReturnsFalseWhenIdle(t *testing.T) {
+	s := NewSim()
+	if s.Step() {
+		t.Fatal("Step on empty sim should return false")
+	}
+	s.Schedule(0, func() {})
+	if !s.Step() {
+		t.Fatal("Step with one event should return true")
+	}
+	if s.Step() {
+		t.Fatal("Step after draining should return false")
+	}
+}

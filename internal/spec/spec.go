@@ -1,0 +1,254 @@
+// Package spec parses and renders composite service requests in an XML
+// dialect inspired by QoSTalk, the XML-based QoS-enabling language the
+// paper names as its specification front end (§2.1: "the user can specify
+// the function graph using the visual specification environment such as
+// QoSTalk"). A document declares the function graph (with dependency and
+// commutation links), the QoS and resource requirements, the probing
+// budget, and optional alternative variants:
+//
+//	<composite name="customized-stream">
+//	  <function id="down" name="downscale"/>
+//	  <function id="tick" name="stock-ticker"/>
+//	  <function id="rq"   name="requant"/>
+//	  <dependency from="down" to="tick"/>
+//	  <dependency from="tick" to="rq"/>
+//	  <commutation a="tick" b="rq"/>
+//	  <qos delayMs="1500" lossRate="0.01"/>
+//	  <resources cpu="1" memoryMB="10" bandwidthKbps="100"/>
+//	  <failure bound="0.05"/>
+//	  <probing budget="24"/>
+//	  <variant>
+//	    <function id="down" name="downscale"/>
+//	    <function id="rq"   name="requant"/>
+//	    <dependency from="down" to="rq"/>
+//	  </variant>
+//	</composite>
+//
+// Endpoints (sender/receiver) are deployment bindings, not part of the
+// specification; the caller sets Request.Source/Dest/ID after parsing.
+package spec
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/fgraph"
+	"repro/internal/qos"
+	"repro/internal/service"
+)
+
+type xmlComposite struct {
+	XMLName      xml.Name      `xml:"composite"`
+	Name         string        `xml:"name,attr"`
+	Functions    []xmlFunction `xml:"function"`
+	Dependencies []xmlDep      `xml:"dependency"`
+	Commutations []xmlCommute  `xml:"commutation"`
+	QoS          *xmlQoS       `xml:"qos"`
+	Resources    *xmlResources `xml:"resources"`
+	Failure      *xmlFailure   `xml:"failure"`
+	Probing      *xmlProbing   `xml:"probing"`
+	Variants     []xmlVariant  `xml:"variant"`
+}
+
+type xmlFunction struct {
+	ID   string `xml:"id,attr"`
+	Name string `xml:"name,attr"`
+}
+
+type xmlDep struct {
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+}
+
+type xmlCommute struct {
+	A string `xml:"a,attr"`
+	B string `xml:"b,attr"`
+}
+
+type xmlQoS struct {
+	DelayMs  float64 `xml:"delayMs,attr"`
+	LossRate float64 `xml:"lossRate,attr"`
+	JitterMs float64 `xml:"jitterMs,attr"`
+}
+
+type xmlResources struct {
+	CPU           float64 `xml:"cpu,attr"`
+	MemoryMB      float64 `xml:"memoryMB,attr"`
+	BandwidthKbps float64 `xml:"bandwidthKbps,attr"`
+}
+
+type xmlFailure struct {
+	Bound float64 `xml:"bound,attr"`
+}
+
+type xmlProbing struct {
+	Budget int `xml:"budget,attr"`
+}
+
+type xmlVariant struct {
+	Functions    []xmlFunction `xml:"function"`
+	Dependencies []xmlDep      `xml:"dependency"`
+	Commutations []xmlCommute  `xml:"commutation"`
+}
+
+// Parse reads one composite-service specification and returns the request
+// it describes. Source, Dest, and ID are left zero for the caller to bind.
+func Parse(r io.Reader) (*service.Request, error) {
+	var doc xmlComposite
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	fg, err := buildGraph(doc.Functions, doc.Dependencies, doc.Commutations)
+	if err != nil {
+		return nil, fmt.Errorf("spec %q: %w", doc.Name, err)
+	}
+	req := &service.Request{
+		FGraph: fg,
+		QoSReq: qos.Unbounded(),
+		Budget: 16,
+	}
+	if doc.QoS != nil {
+		if doc.QoS.DelayMs > 0 {
+			req.QoSReq[qos.Delay] = doc.QoS.DelayMs
+		}
+		if doc.QoS.LossRate > 0 {
+			req.QoSReq[qos.Loss] = qos.LossToAdditive(doc.QoS.LossRate)
+		}
+		if doc.QoS.JitterMs > 0 {
+			req.QoSReq[qos.Jitter] = doc.QoS.JitterMs
+		}
+	}
+	if doc.Resources != nil {
+		req.Res[qos.CPU] = doc.Resources.CPU
+		req.Res[qos.Memory] = doc.Resources.MemoryMB
+		req.Bandwidth = doc.Resources.BandwidthKbps
+	}
+	if doc.Failure != nil {
+		req.FailReq = doc.Failure.Bound
+	}
+	if doc.Probing != nil && doc.Probing.Budget > 0 {
+		req.Budget = doc.Probing.Budget
+	}
+	for i, v := range doc.Variants {
+		vg, err := buildGraph(v.Functions, v.Dependencies, v.Commutations)
+		if err != nil {
+			return nil, fmt.Errorf("spec %q variant %d: %w", doc.Name, i, err)
+		}
+		req.Variants = append(req.Variants, vg)
+	}
+	if err := req.Validate(); err != nil {
+		return nil, fmt.Errorf("spec %q: %w", doc.Name, err)
+	}
+	return req, nil
+}
+
+// ParseFile parses a specification from a file.
+func ParseFile(path string) (*service.Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+func buildGraph(fns []xmlFunction, deps []xmlDep, commutes []xmlCommute) (*fgraph.Graph, error) {
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("no functions declared")
+	}
+	b := fgraph.NewBuilder()
+	index := make(map[string]int, len(fns))
+	for _, f := range fns {
+		if f.ID == "" || f.Name == "" {
+			return nil, fmt.Errorf("function needs both id and name")
+		}
+		if _, dup := index[f.ID]; dup {
+			return nil, fmt.Errorf("duplicate function id %q", f.ID)
+		}
+		index[f.ID] = b.AddFunction(f.Name)
+	}
+	resolve := func(id string) (int, error) {
+		i, ok := index[id]
+		if !ok {
+			return 0, fmt.Errorf("unknown function id %q", id)
+		}
+		return i, nil
+	}
+	for _, d := range deps {
+		from, err := resolve(d.From)
+		if err != nil {
+			return nil, err
+		}
+		to, err := resolve(d.To)
+		if err != nil {
+			return nil, err
+		}
+		b.AddDependency(from, to)
+	}
+	for _, c := range commutes {
+		a, err := resolve(c.A)
+		if err != nil {
+			return nil, err
+		}
+		bb, err := resolve(c.B)
+		if err != nil {
+			return nil, err
+		}
+		b.AddCommutation(a, bb)
+	}
+	return b.Build()
+}
+
+// Render serializes a request back into the XML dialect (the inverse of
+// Parse, modulo endpoint bindings). Function IDs are synthesized as f0, f1,
+// ... in node order.
+func Render(name string, req *service.Request) ([]byte, error) {
+	doc := xmlComposite{Name: name}
+	fillGraph := func(g *fgraph.Graph) ([]xmlFunction, []xmlDep, []xmlCommute) {
+		var fns []xmlFunction
+		var deps []xmlDep
+		var coms []xmlCommute
+		id := func(i int) string { return fmt.Sprintf("f%d", i) }
+		for i := 0; i < g.NumFunctions(); i++ {
+			fns = append(fns, xmlFunction{ID: id(i), Name: g.Function(i)})
+		}
+		for i := 0; i < g.NumFunctions(); i++ {
+			for _, s := range g.Successors(i) {
+				deps = append(deps, xmlDep{From: id(i), To: id(s)})
+			}
+		}
+		for _, c := range g.Commutations() {
+			coms = append(coms, xmlCommute{A: id(c[0]), B: id(c[1])})
+		}
+		return fns, deps, coms
+	}
+	doc.Functions, doc.Dependencies, doc.Commutations = fillGraph(req.FGraph)
+	doc.QoS = &xmlQoS{
+		DelayMs:  finiteOrZero(req.QoSReq[qos.Delay]),
+		LossRate: qos.AdditiveToLoss(finiteOrZero(req.QoSReq[qos.Loss])),
+		JitterMs: finiteOrZero(req.QoSReq[qos.Jitter]),
+	}
+	doc.Resources = &xmlResources{
+		CPU:           req.Res[qos.CPU],
+		MemoryMB:      req.Res[qos.Memory],
+		BandwidthKbps: req.Bandwidth,
+	}
+	doc.Failure = &xmlFailure{Bound: req.FailReq}
+	doc.Probing = &xmlProbing{Budget: req.Budget}
+	for _, v := range req.Variants {
+		fns, deps, coms := fillGraph(v)
+		doc.Variants = append(doc.Variants, xmlVariant{
+			Functions: fns, Dependencies: deps, Commutations: coms,
+		})
+	}
+	return xml.MarshalIndent(doc, "", "  ")
+}
+
+func finiteOrZero(x float64) float64 {
+	if x > 1e17 { // Unbounded sentinel
+		return 0
+	}
+	return x
+}

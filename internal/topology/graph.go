@@ -1,0 +1,224 @@
+// Package topology generates and routes over the two-level network used by
+// the SpiderNet experiments: a power-law IP-layer graph (a stand-in for the
+// Inet-3.0 generator the paper uses) and a P2P service overlay whose peers
+// are a subset of the IP nodes.
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Edge is one directed half of an undirected IP-layer link.
+type Edge struct {
+	To      int
+	Latency float64 // one-way propagation delay in milliseconds
+}
+
+// Graph is an undirected IP-layer graph with latency-weighted links.
+type Graph struct {
+	n   int
+	adj [][]Edge
+	m   int // number of undirected edges
+}
+
+// NewGraph returns an empty graph with n nodes and no links.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("topology: negative node count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts an undirected link between u and v with the given latency.
+// Self-loops and duplicate edges are ignored.
+func (g *Graph) AddEdge(u, v int, latency float64) {
+	if u == v {
+		return
+	}
+	if g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, Latency: latency})
+	g.adj[v] = append(g.adj[v], Edge{To: u, Latency: latency})
+	g.m++
+}
+
+// HasEdge reports whether an undirected link between u and v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	// Scan the smaller adjacency list.
+	a, b := u, v
+	if len(g.adj[b]) < len(g.adj[a]) {
+		a, b = b, a
+	}
+	for _, e := range g.adj[a] {
+		if e.To == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the number of links incident to u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbors returns the adjacency list of u. The returned slice must not be
+// modified.
+func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+
+// Dijkstra computes single-source shortest-path latencies from src.
+// Unreachable nodes get +Inf.
+func (g *Graph) Dijkstra(src int) []float64 {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, e := range g.adj[it.node] {
+			if nd := it.dist + e.Latency; nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(pq, distItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether every node is reachable from node 0.
+func (g *Graph) IsConnected() bool {
+	if g.n == 0 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// DegreeHistogram returns a map from degree to node count, used to validate
+// the power-law shape of generated graphs.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for u := 0; u < g.n; u++ {
+		h[g.Degree(u)]++
+	}
+	return h
+}
+
+type distItem struct {
+	node int
+	dist float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// GeneratePowerLaw builds a connected power-law graph with n nodes using
+// degree-based preferential attachment (Barabási–Albert), the same family of
+// degree-driven generators as Inet-3.0. Each new node attaches m links to
+// existing nodes chosen with probability proportional to their degree. Link
+// latencies are sampled uniformly from [minLat, maxLat) milliseconds.
+func GeneratePowerLaw(n, m int, minLat, maxLat float64, rng *rand.Rand) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n < m+1 {
+		n = m + 1
+	}
+	g := NewGraph(n)
+	lat := func() float64 { return minLat + rng.Float64()*(maxLat-minLat) }
+
+	// Seed clique of m+1 nodes keeps the graph connected from the start.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			g.AddEdge(u, v, lat())
+		}
+	}
+	// targets holds one entry per edge endpoint, so uniform sampling from it
+	// is degree-proportional sampling.
+	var targets []int
+	for u := 0; u <= m; u++ {
+		for i := 0; i < g.Degree(u); i++ {
+			targets = append(targets, u)
+		}
+	}
+	for u := m + 1; u < n; u++ {
+		for _, v := range pickPreferential(targets, m, u, rng) {
+			g.AddEdge(u, v, lat())
+			targets = append(targets, u, v)
+		}
+	}
+	return g
+}
+
+// pickPreferential samples m distinct nodes (none equal to exclude) from
+// targets, where each node appears once per incident edge endpoint, so the
+// draw is degree-proportional. The result order is the draw order, keeping
+// generation deterministic for a given rand stream.
+func pickPreferential(targets []int, m, exclude int, rng *rand.Rand) []int {
+	chosen := make([]int, 0, m)
+	seen := make(map[int]bool, m)
+	for len(chosen) < m {
+		v := targets[rng.Intn(len(targets))]
+		if v != exclude && !seen[v] {
+			seen[v] = true
+			chosen = append(chosen, v)
+		}
+	}
+	return chosen
+}
+
+// GenerateRandom builds a connected Erdős–Rényi-style graph with n nodes and
+// roughly avgDegree links per node. A random chain is inserted first to
+// guarantee connectivity.
+func GenerateRandom(n, avgDegree int, minLat, maxLat float64, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	lat := func() float64 { return minLat + rng.Float64()*(maxLat-minLat) }
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(perm[i-1], perm[i], lat())
+	}
+	extra := n*avgDegree/2 - (n - 1)
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		g.AddEdge(u, v, lat())
+	}
+	return g
+}

@@ -1,0 +1,166 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGraphBasics(t *testing.T) {
+	g := NewGraph(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 20)
+	if g.M() != 2 {
+		t.Fatalf("M=%d after two edges", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("undirected edge should be visible from both ends")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("nonexistent edge reported")
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("Degree(1)=%d", g.Degree(1))
+	}
+}
+
+func TestAddEdgeIgnoresSelfLoopsAndDuplicates(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(1, 1, 5)
+	if g.M() != 0 {
+		t.Fatal("self-loop should be ignored")
+	}
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 0, 7)
+	if g.M() != 1 {
+		t.Fatal("duplicate edge should be ignored")
+	}
+}
+
+func TestDijkstraSimplePath(t *testing.T) {
+	// 0 -1ms- 1 -2ms- 2, plus a slow direct 0-2 link of 10ms.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 10)
+	dist := g.Dijkstra(0)
+	if dist[0] != 0 || dist[1] != 1 || dist[2] != 3 {
+		t.Fatalf("dist=%v", dist)
+	}
+	if !math.IsInf(dist[3], 1) {
+		t.Fatal("isolated node should be unreachable")
+	}
+}
+
+func TestGeneratePowerLawConnectedAndSized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := GeneratePowerLaw(500, 2, 2, 30, rng)
+	if g.N() != 500 {
+		t.Fatalf("N=%d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("power-law graph must be connected")
+	}
+	// Every non-seed node attaches >= 2 links.
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) < 2 {
+			t.Fatalf("node %d degree %d < 2", u, g.Degree(u))
+		}
+	}
+}
+
+func TestGeneratePowerLawSkewedDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := GeneratePowerLaw(2000, 2, 2, 30, rng)
+	maxDeg := 0
+	for u := 0; u < g.N(); u++ {
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(2*g.M()) / float64(g.N())
+	// A power-law graph has hubs far above the mean degree; an Erdős–Rényi
+	// graph of this size would have max degree within ~3x of the mean.
+	if float64(maxDeg) < 8*avg {
+		t.Fatalf("degree distribution not skewed: max=%d avg=%.1f", maxDeg, avg)
+	}
+}
+
+func TestGenerateRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := GenerateRandom(300, 4, 2, 30, rng)
+	if !g.IsConnected() {
+		t.Fatal("random graph with chain backbone must be connected")
+	}
+	if g.N() != 300 {
+		t.Fatalf("N=%d", g.N())
+	}
+}
+
+func TestDegreeHistogramSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := GeneratePowerLaw(200, 2, 2, 30, rng)
+	h := g.DegreeHistogram()
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != g.N() {
+		t.Fatalf("histogram counts %d nodes, want %d", total, g.N())
+	}
+}
+
+// Property: Dijkstra distances satisfy the triangle inequality over direct
+// edges: dist[v] <= dist[u] + w(u,v) for every edge (u,v).
+func TestDijkstraRelaxationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := GeneratePowerLaw(100, 2, 1, 20, rng)
+		dist := g.Dijkstra(rng.Intn(g.N()))
+		for u := 0; u < g.N(); u++ {
+			for _, e := range g.Neighbors(u) {
+				if dist[e.To] > dist[u]+e.Latency+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dijkstra is symmetric on undirected graphs — the distance from a
+// to b equals the distance from b to a.
+func TestDijkstraSymmetryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := GeneratePowerLaw(150, 2, 1, 20, rng)
+	for trial := 0; trial < 10; trial++ {
+		a, b := rng.Intn(g.N()), rng.Intn(g.N())
+		da := g.Dijkstra(a)
+		db := g.Dijkstra(b)
+		if math.Abs(da[b]-db[a]) > 1e-9 {
+			t.Fatalf("asymmetric distance: %v vs %v", da[b], db[a])
+		}
+	}
+}
+
+func TestDeterminismWithSeed(t *testing.T) {
+	g1 := GeneratePowerLaw(200, 2, 2, 30, rand.New(rand.NewSource(9)))
+	g2 := GeneratePowerLaw(200, 2, 2, 30, rand.New(rand.NewSource(9)))
+	if g1.M() != g2.M() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", g1.M(), g2.M())
+	}
+	d1 := g1.Dijkstra(0)
+	d2 := g2.Dijkstra(0)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("same seed produced different distances at node %d", i)
+		}
+	}
+}

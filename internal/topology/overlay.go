@@ -1,0 +1,395 @@
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// OverlayKind selects how overlay links between peers are constructed.
+type OverlayKind int
+
+const (
+	// Mesh connects each peer to its k latency-nearest peers
+	// (a topologically-aware overlay mesh).
+	Mesh OverlayKind = iota
+	// PowerLawOverlay grows a preferential-attachment overlay over the peers.
+	PowerLawOverlay
+	// RandomOverlay connects peers with a random connected graph.
+	RandomOverlay
+)
+
+// String names the overlay kind.
+func (k OverlayKind) String() string {
+	switch k {
+	case Mesh:
+		return "mesh"
+	case PowerLawOverlay:
+		return "power-law"
+	case RandomOverlay:
+		return "random"
+	default:
+		return fmt.Sprintf("overlaykind(%d)", int(k))
+	}
+}
+
+type overlayLink struct {
+	u, v     int
+	latency  float64 // ms, from IP-layer shortest path between u and v
+	capacity float64 // kbps
+	avail    float64 // kbps still unallocated
+}
+
+// Path is an overlay-layer route between two peers: the peer sequence, the
+// indices of the traversed overlay links, and the total latency.
+type Path struct {
+	Peers   []int
+	Links   []int
+	Latency float64
+}
+
+// Overlay is the P2P service overlay: a set of peers (each mapped to an IP
+// node), overlay links with bandwidth capacities, and latency/routing
+// oracles. Overlay links model the application-level connections data
+// streams travel on; control messages between any two peers use the direct
+// IP-layer latency.
+type Overlay struct {
+	peerIP []int
+	lat    [][]float64 // pairwise peer latency over IP shortest paths
+	links  []overlayLink
+	adj    [][]int // per-peer incident link indices
+
+	capMin, capMax float64 // link capacity range, for peers added later
+
+	routeCache map[int]routeTable
+}
+
+type routeTable struct {
+	dist     []float64
+	prevPeer []int
+	prevLink []int
+}
+
+// OverlayConfig controls BuildOverlay.
+type OverlayConfig struct {
+	NumPeers int
+	Kind     OverlayKind
+	Degree   int     // target links per peer (k for Mesh, m for power-law, avg for random)
+	CapMin   float64 // overlay link capacity range, kbps
+	CapMax   float64
+}
+
+// BuildOverlay selects cfg.NumPeers distinct IP nodes from g as peers,
+// derives pairwise peer latencies from IP shortest paths, and constructs
+// overlay links per cfg.Kind.
+func BuildOverlay(g *Graph, cfg OverlayConfig, rng *rand.Rand) *Overlay {
+	if cfg.NumPeers > g.N() {
+		panic(fmt.Sprintf("topology: %d peers exceed %d IP nodes", cfg.NumPeers, g.N()))
+	}
+	if cfg.Degree < 1 {
+		cfg.Degree = 4
+	}
+	if cfg.CapMax <= 0 {
+		cfg.CapMin, cfg.CapMax = 1000, 10000
+	}
+	n := cfg.NumPeers
+	o := &Overlay{
+		peerIP:     rng.Perm(g.N())[:n],
+		lat:        make([][]float64, n),
+		adj:        make([][]int, n),
+		capMin:     cfg.CapMin,
+		capMax:     cfg.CapMax,
+		routeCache: make(map[int]routeTable),
+	}
+	// Pairwise peer latency via one Dijkstra per peer over the IP graph.
+	ipIndex := make(map[int]int, n) // IP node -> peer index
+	for p, ip := range o.peerIP {
+		ipIndex[ip] = p
+	}
+	for p, ip := range o.peerIP {
+		dist := g.Dijkstra(ip)
+		row := make([]float64, n)
+		for q, ipq := range o.peerIP {
+			row[q] = dist[ipq]
+		}
+		o.lat[p] = row
+	}
+
+	cap := func() float64 { return cfg.CapMin + rng.Float64()*(cfg.CapMax-cfg.CapMin) }
+	addLink := func(u, v int) {
+		if u == v || o.hasLink(u, v) {
+			return
+		}
+		idx := len(o.links)
+		c := cap()
+		o.links = append(o.links, overlayLink{u: u, v: v, latency: o.lat[u][v], capacity: c, avail: c})
+		o.adj[u] = append(o.adj[u], idx)
+		o.adj[v] = append(o.adj[v], idx)
+	}
+
+	switch cfg.Kind {
+	case Mesh:
+		for u := 0; u < n; u++ {
+			order := make([]int, 0, n-1)
+			for v := 0; v < n; v++ {
+				if v != u {
+					order = append(order, v)
+				}
+			}
+			sort.Slice(order, func(i, j int) bool { return o.lat[u][order[i]] < o.lat[u][order[j]] })
+			for i := 0; i < cfg.Degree && i < len(order); i++ {
+				addLink(u, order[i])
+			}
+		}
+	case PowerLawOverlay:
+		m := cfg.Degree
+		if m >= n {
+			m = n - 1
+		}
+		for u := 0; u <= m && u < n; u++ {
+			for v := u + 1; v <= m && v < n; v++ {
+				addLink(u, v)
+			}
+		}
+		var targets []int
+		for u := 0; u <= m && u < n; u++ {
+			for range o.adj[u] {
+				targets = append(targets, u)
+			}
+		}
+		for u := m + 1; u < n; u++ {
+			for _, v := range pickPreferential(targets, m, u, rng) {
+				addLink(u, v)
+				targets = append(targets, u, v)
+			}
+		}
+	case RandomOverlay:
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			addLink(perm[i-1], perm[i])
+		}
+		extra := n*cfg.Degree/2 - (n - 1)
+		for i := 0; i < extra; i++ {
+			addLink(rng.Intn(n), rng.Intn(n))
+		}
+	}
+	return o
+}
+
+func (o *Overlay) hasLink(u, v int) bool {
+	for _, idx := range o.adj[u] {
+		l := o.links[idx]
+		if l.u == v || l.v == v {
+			return true
+		}
+	}
+	return false
+}
+
+// N returns the number of peers.
+func (o *Overlay) N() int { return len(o.peerIP) }
+
+// NumLinks returns the number of overlay links.
+func (o *Overlay) NumLinks() int { return len(o.links) }
+
+// PeerIP returns the IP node hosting peer p.
+func (o *Overlay) PeerIP(p int) int { return o.peerIP[p] }
+
+// Latency returns the one-way control-message latency between peers a and b
+// in milliseconds (the IP-layer shortest path between their hosts).
+func (o *Overlay) Latency(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	return o.lat[a][b]
+}
+
+// Degree returns the number of overlay links incident to peer p.
+func (o *Overlay) Degree(p int) int { return len(o.adj[p]) }
+
+// AddPeer extends a built overlay with one new peer hosted on IP node ip:
+// pairwise latencies are derived from fresh IP shortest paths, the newcomer
+// is connected to its `degree` latency-nearest peers (mesh-style), and the
+// route cache is invalidated. It returns the new peer's index. This is the
+// data-plane half of a dynamic peer arrival.
+func (o *Overlay) AddPeer(g *Graph, ip, degree int, rng *rand.Rand) int {
+	dist := g.Dijkstra(ip)
+	n := len(o.peerIP)
+	row := make([]float64, n+1)
+	for q, ipq := range o.peerIP {
+		row[q] = dist[ipq]
+		o.lat[q] = append(o.lat[q], dist[ipq])
+	}
+	o.peerIP = append(o.peerIP, ip)
+	o.lat = append(o.lat, row)
+	o.adj = append(o.adj, nil)
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return row[order[a]] < row[order[b]] })
+	if degree < 1 {
+		degree = 4
+	}
+	for i := 0; i < degree && i < len(order); i++ {
+		v := order[i]
+		if o.hasLink(n, v) {
+			continue
+		}
+		idx := len(o.links)
+		c := o.capMin + rng.Float64()*(o.capMax-o.capMin)
+		o.links = append(o.links, overlayLink{u: n, v: v, latency: row[v], capacity: c, avail: c})
+		o.adj[n] = append(o.adj[n], idx)
+		o.adj[v] = append(o.adj[v], idx)
+	}
+	o.routeCache = make(map[int]routeTable)
+	return n
+}
+
+// Route returns the shortest-latency overlay path from a to b, or ok=false
+// if none exists. Routes are cached per source; the cache is invalidated
+// only by AddPeer, since links otherwise never change.
+func (o *Overlay) Route(a, b int) (Path, bool) {
+	if a == b {
+		return Path{Peers: []int{a}, Latency: 0}, true
+	}
+	rt, ok := o.routeCache[a]
+	if !ok {
+		rt = o.dijkstra(a)
+		o.routeCache[a] = rt
+	}
+	if math.IsInf(rt.dist[b], 1) {
+		return Path{}, false
+	}
+	var peers, links []int
+	for at := b; at != a; at = rt.prevPeer[at] {
+		peers = append(peers, at)
+		links = append(links, rt.prevLink[at])
+	}
+	peers = append(peers, a)
+	reverseInts(peers)
+	reverseInts(links)
+	return Path{Peers: peers, Links: links, Latency: rt.dist[b]}, true
+}
+
+func (o *Overlay) dijkstra(src int) routeTable {
+	n := o.N()
+	rt := routeTable{
+		dist:     make([]float64, n),
+		prevPeer: make([]int, n),
+		prevLink: make([]int, n),
+	}
+	for i := range rt.dist {
+		rt.dist[i] = math.Inf(1)
+		rt.prevPeer[i] = -1
+		rt.prevLink[i] = -1
+	}
+	rt.dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.dist > rt.dist[it.node] {
+			continue
+		}
+		for _, idx := range o.adj[it.node] {
+			l := o.links[idx]
+			to := l.u
+			if to == it.node {
+				to = l.v
+			}
+			if nd := it.dist + l.latency; nd < rt.dist[to] {
+				rt.dist[to] = nd
+				rt.prevPeer[to] = it.node
+				rt.prevLink[to] = idx
+				heap.Push(pq, distItem{node: to, dist: nd})
+			}
+		}
+	}
+	return rt
+}
+
+// AvailBandwidth returns the bottleneck available bandwidth along p in kbps.
+// An empty path (same source and destination) has infinite bandwidth.
+func (o *Overlay) AvailBandwidth(p Path) float64 {
+	bw := math.Inf(1)
+	for _, idx := range p.Links {
+		if a := o.links[idx].avail; a < bw {
+			bw = a
+		}
+	}
+	return bw
+}
+
+// AllocBandwidth reserves bw kbps on every link of p. It either reserves on
+// all links or none, returning whether the reservation succeeded.
+func (o *Overlay) AllocBandwidth(p Path, bw float64) bool {
+	if o.AvailBandwidth(p) < bw {
+		return false
+	}
+	for _, idx := range p.Links {
+		o.links[idx].avail -= bw
+	}
+	return true
+}
+
+// ReleaseBandwidth returns bw kbps to every link of p, clamping at capacity.
+func (o *Overlay) ReleaseBandwidth(p Path, bw float64) {
+	for _, idx := range p.Links {
+		l := &o.links[idx]
+		l.avail += bw
+		if l.avail > l.capacity {
+			l.avail = l.capacity
+		}
+	}
+}
+
+// LinkCapacity returns the total capacity of overlay link idx in kbps.
+func (o *Overlay) LinkCapacity(idx int) float64 { return o.links[idx].capacity }
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// WideAreaLatencies builds an n×n one-way latency matrix (milliseconds)
+// shaped like a wide-area deployment across a few geographic clusters
+// (the PlanetLab stand-in used by the live runtime): low intra-cluster
+// latency, tens of milliseconds cross-continent, ~80–120 ms transatlantic.
+func WideAreaLatencies(n int, rng *rand.Rand) [][]float64 {
+	type cluster struct{ share float64 }
+	clusters := []cluster{{0.4}, {0.35}, {0.25}} // US-West, US-East, Europe
+	assign := make([]int, n)
+	for i := range assign {
+		r := rng.Float64()
+		acc := 0.0
+		for c, cl := range clusters {
+			acc += cl.share
+			if r < acc {
+				assign[i] = c
+				break
+			}
+		}
+	}
+	base := [3][3]float64{
+		{5, 35, 90},
+		{35, 5, 75},
+		{90, 75, 8},
+	}
+	lat := make([][]float64, n)
+	for i := range lat {
+		lat[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b := base[assign[i]][assign[j]]
+			l := b * (0.8 + 0.4*rng.Float64()) // ±20% jitter around the base
+			lat[i][j] = l
+			lat[j][i] = l
+		}
+	}
+	return lat
+}

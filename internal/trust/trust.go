@@ -1,0 +1,197 @@
+// Package trust implements the decentralized trust management the paper
+// names as future work (§8: "we will integrate decentralized trust
+// management into the current service composition framework to support
+// secure service composition").
+//
+// Each peer keeps a beta-reputation score per counterpart peer — a
+// successes / b failures observed directly from its own sessions — and
+// periodically publishes a feedback report into the DHT under the subject
+// peer's trust key. When evaluating a peer it has little direct experience
+// with, a peer fetches the feedback reports of others and blends them with
+// its own observations. BCP consults the blended score during next-hop
+// component selection, so components on misbehaving peers stop being
+// probed.
+package trust
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dht"
+	"repro/internal/p2p"
+)
+
+// Report is one peer's published experience with a subject peer.
+type Report struct {
+	Subject   p2p.NodeID
+	Reporter  p2p.NodeID
+	Successes float64
+	Failures  float64
+}
+
+// Config tunes the trust manager.
+type Config struct {
+	// DirectWeight is the weight of first-hand observations when blending
+	// with fetched feedback (the rest is split over reporters).
+	DirectWeight float64
+	// PublishThreshold is how many new observations accumulate before the
+	// manager re-publishes its report for a subject.
+	PublishThreshold float64
+	// FetchTimeout bounds feedback lookups.
+	FetchTimeout time.Duration
+}
+
+// DefaultConfig returns the defaults used in tests and examples.
+func DefaultConfig() Config {
+	return Config{
+		DirectWeight:     0.6,
+		PublishThreshold: 3,
+		FetchTimeout:     2 * time.Second,
+	}
+}
+
+// Key returns the DHT key feedback about peer p is stored under.
+func Key(p p2p.NodeID) dht.ID { return dht.Key(fmt.Sprintf("trust:%d", int(p))) }
+
+type record struct {
+	successes float64
+	failures  float64
+	published float64 // observations included in the last published report
+	remote    []Report
+	fetched   bool
+}
+
+// Manager tracks and publishes trust state for one peer.
+type Manager struct {
+	host p2p.Node
+	node *dht.Node
+	cfg  Config
+
+	records map[p2p.NodeID]*record
+}
+
+// NewManager creates a trust manager bound to the peer's DHT node.
+func NewManager(host p2p.Node, node *dht.Node, cfg Config) *Manager {
+	return &Manager{
+		host:    host,
+		node:    node,
+		cfg:     cfg,
+		records: make(map[p2p.NodeID]*record),
+	}
+}
+
+func (m *Manager) rec(p p2p.NodeID) *record {
+	r, ok := m.records[p]
+	if !ok {
+		r = &record{}
+		m.records[p] = r
+	}
+	return r
+}
+
+// RecordSuccess adds one positive first-hand observation about p (e.g. a
+// session completed over p's component) and republishes if enough evidence
+// accumulated.
+func (m *Manager) RecordSuccess(p p2p.NodeID) {
+	r := m.rec(p)
+	r.successes++
+	m.maybePublish(p, r)
+}
+
+// RecordFailure adds one negative first-hand observation about p (e.g. p
+// broke an active session).
+func (m *Manager) RecordFailure(p p2p.NodeID) {
+	r := m.rec(p)
+	r.failures++
+	m.maybePublish(p, r)
+}
+
+func (m *Manager) maybePublish(p p2p.NodeID, r *record) {
+	total := r.successes + r.failures
+	if total-r.published < m.cfg.PublishThreshold {
+		return
+	}
+	r.published = total
+	m.node.Put(Key(p), Report{
+		Subject:   p,
+		Reporter:  m.host.ID(),
+		Successes: r.successes,
+		Failures:  r.failures,
+	}, 48)
+}
+
+// betaMean is the expected value of the beta reputation: (a+1)/(a+b+2),
+// 0.5 for no evidence.
+func betaMean(successes, failures float64) float64 {
+	return (successes + 1) / (successes + failures + 2)
+}
+
+// DirectScore returns the first-hand-only score for p in (0,1).
+func (m *Manager) DirectScore(p p2p.NodeID) float64 {
+	r, ok := m.records[p]
+	if !ok {
+		return 0.5
+	}
+	return betaMean(r.successes, r.failures)
+}
+
+// Score returns the blended trust score for p: DirectWeight on first-hand
+// evidence, the rest on the average of fetched feedback reports (excluding
+// our own). With no evidence at all the score is the neutral 0.5.
+func (m *Manager) Score(p p2p.NodeID) float64 {
+	r, ok := m.records[p]
+	if !ok {
+		return 0.5
+	}
+	direct := betaMean(r.successes, r.failures)
+	if len(r.remote) == 0 {
+		return direct
+	}
+	var remote float64
+	n := 0
+	for _, rep := range r.remote {
+		if rep.Reporter == m.host.ID() {
+			continue
+		}
+		remote += betaMean(rep.Successes, rep.Failures)
+		n++
+	}
+	if n == 0 {
+		return direct
+	}
+	remote /= float64(n)
+	w := m.cfg.DirectWeight
+	return w*direct + (1-w)*remote
+}
+
+// FetchFeedback refreshes p's remote feedback from the DHT; cb (optional)
+// fires when the lookup completes.
+func (m *Manager) FetchFeedback(p p2p.NodeID, cb func(reports int)) {
+	m.node.Get(Key(p), m.cfg.FetchTimeout, func(items []any, _ int, ok bool) {
+		r := m.rec(p)
+		r.fetched = true
+		if ok {
+			// Keep the latest report per reporter.
+			latest := make(map[p2p.NodeID]Report)
+			for _, it := range items {
+				if rep, isRep := it.(Report); isRep && rep.Subject == p {
+					latest[rep.Reporter] = rep
+				}
+			}
+			r.remote = r.remote[:0]
+			for _, rep := range latest {
+				r.remote = append(r.remote, rep)
+			}
+		}
+		if cb != nil {
+			cb(len(r.remote))
+		}
+	})
+}
+
+// Observed reports whether the manager has any evidence (direct or fetched)
+// about p.
+func (m *Manager) Observed(p p2p.NodeID) bool {
+	r, ok := m.records[p]
+	return ok && (r.successes+r.failures > 0 || len(r.remote) > 0)
+}

@@ -1,0 +1,174 @@
+package trust_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/bcp"
+	"repro/internal/cluster"
+	"repro/internal/fgraph"
+	"repro/internal/p2p"
+	"repro/internal/qos"
+	"repro/internal/service"
+	"repro/internal/trust"
+)
+
+func newCluster(seed int64) *cluster.Cluster {
+	return cluster.New(cluster.Options{
+		Seed: seed, IPNodes: 400, Peers: 60,
+		Catalog: []string{"A", "B", "C", "D"},
+	})
+}
+
+func mgrFor(c *cluster.Cluster, peer int) *trust.Manager {
+	return trust.NewManager(c.Peers[peer].Node, c.Peers[peer].DHT, trust.DefaultConfig())
+}
+
+func TestNeutralScoreWithoutEvidence(t *testing.T) {
+	c := newCluster(80)
+	m := mgrFor(c, 0)
+	if got := m.Score(5); got != 0.5 {
+		t.Fatalf("score without evidence = %v, want 0.5", got)
+	}
+	if m.Observed(5) {
+		t.Fatal("Observed true without evidence")
+	}
+}
+
+func TestDirectObservationsMoveScore(t *testing.T) {
+	c := newCluster(81)
+	m := mgrFor(c, 0)
+	for i := 0; i < 8; i++ {
+		m.RecordSuccess(7)
+	}
+	if got := m.Score(7); got <= 0.8 {
+		t.Fatalf("score after 8 successes = %v", got)
+	}
+	m2 := mgrFor(c, 1)
+	for i := 0; i < 8; i++ {
+		m2.RecordFailure(9)
+	}
+	if got := m2.Score(9); got >= 0.2 {
+		t.Fatalf("score after 8 failures = %v", got)
+	}
+	// Beta mean formula sanity: 3 successes, 1 failure -> 4/6.
+	m3 := mgrFor(c, 2)
+	m3.RecordSuccess(4)
+	m3.RecordSuccess(4)
+	m3.RecordSuccess(4)
+	m3.RecordFailure(4)
+	if got := m3.DirectScore(4); math.Abs(got-4.0/6.0) > 1e-12 {
+		t.Fatalf("beta mean = %v, want 2/3", got)
+	}
+}
+
+func TestFeedbackSharingThroughDHT(t *testing.T) {
+	c := newCluster(82)
+	// Peers 1..4 each observe peer 9 failing repeatedly; their reports are
+	// published to the DHT (threshold 3).
+	for reporter := 1; reporter <= 4; reporter++ {
+		m := mgrFor(c, reporter)
+		for i := 0; i < 4; i++ {
+			m.RecordFailure(9)
+		}
+	}
+	c.Sim.RunUntilIdle()
+
+	// Peer 0 has NO direct experience; after fetching feedback its blended
+	// score for 9 must fall well below neutral.
+	m0 := mgrFor(c, 0)
+	fetched := -1
+	m0.FetchFeedback(9, func(n int) { fetched = n })
+	c.Sim.RunUntilIdle()
+	if fetched < 3 {
+		t.Fatalf("fetched %d reports, want >= 3", fetched)
+	}
+	if got := m0.Score(9); got >= 0.4 {
+		t.Fatalf("blended score %v did not reflect shared negative feedback", got)
+	}
+	if !m0.Observed(9) {
+		t.Fatal("Observed false after fetch")
+	}
+}
+
+func TestLatestReportPerReporterWins(t *testing.T) {
+	c := newCluster(83)
+	m1 := mgrFor(c, 1)
+	// First a bad report...
+	for i := 0; i < 3; i++ {
+		m1.RecordFailure(9)
+	}
+	c.Sim.RunUntilIdle()
+	// ...then the peer recovers and the reporter publishes good evidence.
+	for i := 0; i < 30; i++ {
+		m1.RecordSuccess(9)
+	}
+	c.Sim.RunUntilIdle()
+
+	m0 := mgrFor(c, 0)
+	m0.FetchFeedback(9, nil)
+	c.Sim.RunUntilIdle()
+	if got := m0.Score(9); got <= 0.5 {
+		t.Fatalf("latest (positive) report should dominate, score=%v", got)
+	}
+}
+
+// TestTrustAwareComposition wires the trust manager into BCP: components on
+// a peer known to fail sessions stop being selected.
+func TestTrustAwareComposition(t *testing.T) {
+	c := newCluster(84)
+	src := 0
+	m := mgrFor(c, src)
+	// Next-hop selection is per hop, so every peer's engine consults a
+	// trust oracle; here they share the source's manager (in a real
+	// deployment each peer runs its own and fetches feedback via the DHT).
+	for _, p := range c.Peers {
+		p.Engine.Trust = m
+		p.Engine.MinTrust = 0.25
+	}
+	eng := c.Peers[src].Engine
+
+	fns := c.FunctionsByReplicas()
+	q := qos.Unbounded()
+	q[qos.Delay] = 5000
+	var res qos.Resources
+	res[qos.CPU] = 1
+	res[qos.Memory] = 10
+	mk := func(id uint64) *service.Request {
+		return &service.Request{
+			ID: id, FGraph: fgraph.Linear(fns[0], fns[1]), QoSReq: q, Res: res,
+			Bandwidth: 10, Source: p2p.NodeID(src), Dest: 1, Budget: 20,
+		}
+	}
+	// Baseline composition: find which peer serves fns[0].
+	var first bcp.Result
+	eng.Compose(mk(1), func(r bcp.Result) { first = r })
+	c.Sim.Run(c.Sim.Now() + 30*time.Second)
+	if !first.Ok {
+		t.Fatal("baseline composition failed")
+	}
+	eng.Teardown(first.Best)
+	badPeer := first.Best.Comps[0].Comp.Peer
+
+	// The source repeatedly observes badPeer failing.
+	for i := 0; i < 10; i++ {
+		m.RecordFailure(badPeer)
+	}
+	c.Sim.Run(c.Sim.Now() + 5*time.Second)
+	if m.Score(badPeer) >= 0.25 {
+		t.Fatalf("score %v not below exclusion threshold", m.Score(badPeer))
+	}
+
+	// Re-composition must avoid the distrusted peer entirely.
+	var second bcp.Result
+	eng.Compose(mk(2), func(r bcp.Result) { second = r })
+	c.Sim.Run(c.Sim.Now() + 30*time.Second)
+	if !second.Ok {
+		t.Fatal("trust-aware composition failed (no alternative replicas?)")
+	}
+	defer eng.Teardown(second.Best)
+	if second.Best.ContainsPeer(badPeer) {
+		t.Fatal("composition still uses the distrusted peer")
+	}
+}

@@ -1,0 +1,189 @@
+package spidernet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fgraph"
+	"repro/internal/qos"
+	"repro/internal/service"
+)
+
+// RequestBuilder assembles composite service requests fluently. Zero-value
+// fields take sensible defaults; Build validates the result.
+type RequestBuilder struct {
+	id        uint64
+	functions []string
+	deps      [][2]int
+	commutes  [][2]int
+	variants  [][]string
+	maxDelay  time.Duration
+	maxLoss   float64
+	bandwidth float64
+	cpu, mem  float64
+	failReq   float64
+	src, dst  PeerID
+	budget    int
+	err       error
+}
+
+var requestSeq uint64
+
+// NewRequest starts a builder with a fresh unique request ID.
+func NewRequest() *RequestBuilder {
+	requestSeq++
+	return &RequestBuilder{
+		id:        requestSeq,
+		maxDelay:  2 * time.Second,
+		bandwidth: 100,
+		cpu:       1,
+		mem:       10,
+		failReq:   0.05,
+		budget:    16,
+		dst:       1,
+	}
+}
+
+// ID overrides the auto-assigned request ID.
+func (b *RequestBuilder) ID(id uint64) *RequestBuilder { b.id = id; return b }
+
+// Functions declares a linear chain of required functions (F1 → F2 → ...).
+// For DAGs use Function and Depends instead.
+func (b *RequestBuilder) Functions(fns ...string) *RequestBuilder {
+	for _, f := range fns {
+		n := len(b.functions)
+		b.functions = append(b.functions, f)
+		if n > 0 {
+			b.deps = append(b.deps, [2]int{n - 1, n})
+		}
+	}
+	return b
+}
+
+// Function adds one function node and returns its index for Depends /
+// Commutes wiring.
+func (b *RequestBuilder) Function(name string) int {
+	b.functions = append(b.functions, name)
+	return len(b.functions) - 1
+}
+
+// Depends declares that function to consumes function from's output.
+func (b *RequestBuilder) Depends(from, to int) *RequestBuilder {
+	b.deps = append(b.deps, [2]int{from, to})
+	return b
+}
+
+// Commutes declares that two adjacent functions may be composed in either
+// order (a commutation link, §2.1).
+func (b *RequestBuilder) Commutes(a, c int) *RequestBuilder {
+	b.commutes = append(b.commutes, [2]int{a, c})
+	return b
+}
+
+// Alternative adds a variant: a linear chain of functions that would also
+// satisfy the user. BCP probes the primary graph and every alternative and
+// selects the best qualified composition across all of them (conditional
+// composition semantics).
+func (b *RequestBuilder) Alternative(fns ...string) *RequestBuilder {
+	b.variants = append(b.variants, fns)
+	return b
+}
+
+// MaxDelay sets the end-to-end delay requirement.
+func (b *RequestBuilder) MaxDelay(d time.Duration) *RequestBuilder { b.maxDelay = d; return b }
+
+// MaxLoss sets the end-to-end data loss rate requirement in [0,1).
+func (b *RequestBuilder) MaxLoss(p float64) *RequestBuilder { b.maxLoss = p; return b }
+
+// Bandwidth sets the kbps required on every service link.
+func (b *RequestBuilder) Bandwidth(kbps float64) *RequestBuilder { b.bandwidth = kbps; return b }
+
+// Resources sets the per-component CPU and memory requirement.
+func (b *RequestBuilder) Resources(cpu, mem float64) *RequestBuilder {
+	b.cpu, b.mem = cpu, mem
+	return b
+}
+
+// FailureBound sets the acceptable session failure probability F^req used
+// by the backup-count formula.
+func (b *RequestBuilder) FailureBound(p float64) *RequestBuilder { b.failReq = p; return b }
+
+// Between sets the sending and receiving peers.
+func (b *RequestBuilder) Between(src, dst PeerID) *RequestBuilder {
+	b.src, b.dst = src, dst
+	return b
+}
+
+// Budget sets the probing budget β (§4.1): the number of probes BCP may
+// spend on this request. Larger budgets find better graphs at higher
+// overhead.
+func (b *RequestBuilder) Budget(n int) *RequestBuilder { b.budget = n; return b }
+
+// Build validates and returns the request.
+func (b *RequestBuilder) Build() (*Request, error) {
+	if len(b.functions) == 0 {
+		return nil, fmt.Errorf("spidernet: request has no functions")
+	}
+	fb := fgraph.NewBuilder()
+	for _, f := range b.functions {
+		fb.AddFunction(f)
+	}
+	for _, d := range b.deps {
+		fb.AddDependency(d[0], d[1])
+	}
+	for _, c := range b.commutes {
+		fb.AddCommutation(c[0], c[1])
+	}
+	fg, err := fb.Build()
+	if err != nil {
+		return nil, err
+	}
+	q := qos.Unbounded()
+	q[qos.Delay] = float64(b.maxDelay) / float64(time.Millisecond)
+	if b.maxLoss > 0 {
+		q[qos.Loss] = qos.LossToAdditive(b.maxLoss)
+	}
+	var res qos.Resources
+	res[qos.CPU] = b.cpu
+	res[qos.Memory] = b.mem
+	var variants []*fgraph.Graph
+	for _, v := range b.variants {
+		vb := fgraph.NewBuilder()
+		for i, f := range v {
+			vb.AddFunction(f)
+			if i > 0 {
+				vb.AddDependency(i-1, i)
+			}
+		}
+		vg, err := vb.Build()
+		if err != nil {
+			return nil, err
+		}
+		variants = append(variants, vg)
+	}
+	req := &service.Request{
+		ID:        b.id,
+		FGraph:    fg,
+		QoSReq:    q,
+		Res:       res,
+		Bandwidth: b.bandwidth,
+		FailReq:   b.failReq,
+		Source:    b.src,
+		Dest:      b.dst,
+		Budget:    b.budget,
+		Variants:  variants,
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// MustBuild is Build that panics on error — convenient in examples.
+func (b *RequestBuilder) MustBuild() *Request {
+	req, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return req
+}
