@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race ci bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci runs the full verification gate: vet + build + race-enabled tests.
+ci:
+	sh scripts/ci.sh
+
+# bench writes BENCH_<timestamp>.json with the microbenchmark suite.
+bench:
+	$(GO) run ./cmd/spiderbench -bench
+
+clean:
+	rm -f BENCH_*.json

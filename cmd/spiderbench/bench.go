@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bcp"
+	"repro/internal/cluster"
+	"repro/internal/dht"
+	"repro/internal/obs"
+	"repro/internal/p2p"
+	"repro/internal/qos"
+	"repro/internal/service"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// BenchResult is one machine-readable microbenchmark record.
+type BenchResult struct {
+	Op         string  `json:"op"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// BenchFile is the BENCH_<timestamp>.json schema.
+type BenchFile struct {
+	Timestamp string        `json:"timestamp"`
+	GoVersion string        `json:"go_version,omitempty"`
+	Results   []BenchResult `json:"results"`
+}
+
+// runBench executes the microbenchmark suite via testing.Benchmark and
+// writes BENCH_<timestamp>.json into dir ("." by default).
+func runBench(dir string) error {
+	// Fail on a bad output directory before spending a minute benchmarking.
+	if st, err := os.Stat(dir); err != nil {
+		return err
+	} else if !st.IsDir() {
+		return fmt.Errorf("%s is not a directory", dir)
+	}
+	type bench struct {
+		op string
+		fn func(b *testing.B)
+	}
+	benches := []bench{
+		{"bcp/compose", benchCompose},
+		{"dht/lookup", benchDHTLookup},
+		{"overlay/route", benchOverlayRoute},
+		{"service/cost", benchCost},
+		{"obs/jsonl-emit", benchObsEmit},
+		{"obs/emit-disabled", benchObsDisabled},
+	}
+	out := BenchFile{Timestamp: time.Now().UTC().Format("20060102T150405Z")}
+	for _, bb := range benches {
+		fmt.Fprintf(os.Stderr, "bench %-18s ", bb.op)
+		r := testing.Benchmark(bb.fn)
+		fmt.Fprintf(os.Stderr, "%12d ns/op %8d allocs/op\n", r.NsPerOp(), r.AllocsPerOp())
+		out.Results = append(out.Results, BenchResult{
+			Op:          bb.op,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	name := filepath.Join(dir, "BENCH_"+out.Timestamp+".json")
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", name)
+	return nil
+}
+
+func benchCompose(b *testing.B) {
+	catalog := make([]string, 10)
+	for i := range catalog {
+		catalog[i] = fmt.Sprintf("fn%d", i)
+	}
+	c := cluster.New(cluster.Options{Seed: 75, IPNodes: 400, Peers: 60, Catalog: catalog})
+	gen := workload.NewGenerator(workload.Config{
+		Catalog: catalog, Peers: 60, MinFuncs: 3, MaxFuncs: 3,
+		Budget: 12, DelayReqMin: 300, DelayReqMax: 600,
+	}, c.Rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := gen.Next()
+		req.QoSReq[qos.Delay] = 5000
+		eng := c.Peers[int(req.Source)].Engine
+		eng.Compose(req, func(res bcp.Result) {
+			if res.Ok {
+				eng.Teardown(res.Best)
+			}
+		})
+		c.Sim.Run(c.Sim.Now() + 30*time.Second)
+	}
+}
+
+func benchDHTLookup(b *testing.B) {
+	sim := simnet.NewSim()
+	nw := simnet.NewNetwork(sim, simnet.ConstantLatency(time.Millisecond),
+		rand.New(rand.NewSource(76)))
+	nodes := make([]*dht.Node, 200)
+	for i := range nodes {
+		nodes[i] = dht.New(nw.AddNode(p2p.NodeID(i)), nw.Alive)
+	}
+	dht.Build(nodes)
+	nodes[0].Put(dht.Key("bench"), "x", 64)
+	sim.RunUntilIdle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[i%200].Get(dht.Key("bench"), time.Second, func([]any, int, bool) {})
+		sim.RunUntilIdle()
+	}
+}
+
+func benchOverlayRoute(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	g := topology.GeneratePowerLaw(2000, 2, 2, 30, rng)
+	ov := topology.BuildOverlay(g, topology.OverlayConfig{NumPeers: 300, Degree: 4}, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ov.Route(i%300, (i*7+1)%300); !ok {
+			b.Fatal("no route")
+		}
+	}
+}
+
+func benchCost(b *testing.B) {
+	var avail qos.Resources
+	avail[qos.CPU] = 10
+	avail[qos.Memory] = 100
+	g := &service.Graph{Comps: map[int]service.Snapshot{}}
+	for i := 0; i < 3; i++ {
+		g.Comps[i] = service.Snapshot{
+			Comp:  service.Component{ID: fmt.Sprintf("c%d", i), Peer: p2p.NodeID(i)},
+			Avail: avail,
+		}
+		g.Links = append(g.Links, service.LinkSnapshot{FromFn: i - 1, ToFn: i, BandAvail: 1000})
+	}
+	var res qos.Resources
+	res[qos.CPU] = 1
+	res[qos.Memory] = 10
+	req := &service.Request{Res: res, Bandwidth: 100, Budget: 1}
+	w := service.DefaultWeights()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := g.Cost(w, req); c <= 0 {
+			b.Fatal("bad cost")
+		}
+	}
+}
+
+func benchObsEmit(b *testing.B) {
+	sink := obs.NewJSONLSink(discardWriter{})
+	ev := obs.ProbeSent(time.Millisecond, 3, 42, 7, "fn1", "p7/fn1.0", 10, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.Emit(ev)
+	}
+}
+
+// benchObsDisabled measures the disabled-tracer fast path: the nil check
+// plus event construction that instrumented call sites skip entirely.
+func benchObsDisabled(b *testing.B) {
+	var trace obs.Tracer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if trace != nil {
+			trace.Emit(obs.ProbeSent(time.Millisecond, 3, 42, 7, "fn1", "p7/fn1.0", 10, 2))
+		}
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

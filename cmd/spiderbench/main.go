@@ -10,6 +10,7 @@
 //	spiderbench -fig 11           # delay vs probing budget
 //	spiderbench -fig overhead     # BCP vs centralized overhead
 //	spiderbench -fig all
+//	spiderbench -bench            # microbenchmarks -> BENCH_<timestamp>.json
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,7 +30,49 @@ func main() {
 	paper := flag.Bool("paper", false, "use the paper's full dimensions (slow)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	bench := flag.Bool("bench", false, "run the microbenchmark suite and write BENCH_<timestamp>.json")
+	benchDir := flag.String("benchdir", ".", "directory for the BENCH_<timestamp>.json output")
+	traceFile := flag.String("trace", "", "write a deterministic JSONL event trace of the simulated figures to this file")
+	stats := flag.Bool("stats", false, "print per-layer counter tables after the figures")
 	flag.Parse()
+
+	if *bench {
+		if err := runBench(*benchDir); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Figure 10 runs on the live TCP runtime, outside the virtual clock, so
+	// the deterministic tracer is wired only into the simulated figures
+	// (8, 9, 11, overhead).
+	var (
+		trace   obs.Tracer
+		sink    *obs.JSONLSink
+		reg     *obs.Registry
+		tracers obs.MultiTracer
+	)
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = obs.NewJSONLSink(f)
+		tracers = append(tracers, sink)
+	}
+	if *stats {
+		reg = obs.NewRegistry()
+	}
+	switch len(tracers) {
+	case 0:
+	case 1:
+		trace = tracers[0]
+	default:
+		trace = tracers
+	}
 
 	writeCSV := func(name string, t *metrics.Table) {
 		if *csvDir == "" {
@@ -58,6 +102,8 @@ func main() {
 				cfg = experiment.PaperFig8Config()
 			}
 			cfg.Seed = *seed
+			cfg.Trace = trace
+			cfg.Counters = reg
 			res := experiment.Fig8(cfg)
 			res.Table.Render(os.Stdout)
 			writeCSV("fig8", res.Table)
@@ -71,6 +117,8 @@ func main() {
 				cfg = experiment.PaperFig9Config()
 			}
 			cfg.Seed = *seed
+			cfg.Trace = trace
+			cfg.Counters = reg
 			res := experiment.Fig9(cfg)
 			res.Table.Render(os.Stdout)
 			writeCSV("fig9", res.Table)
@@ -99,6 +147,8 @@ func main() {
 				cfg = experiment.PaperFig11Config()
 			}
 			cfg.Seed = *seed
+			cfg.Trace = trace
+			cfg.Counters = reg
 			res := experiment.Fig11(cfg)
 			res.Table.Render(os.Stdout)
 			writeCSV("fig11", res.Table)
@@ -112,6 +162,8 @@ func main() {
 				cfg = experiment.PaperOverheadConfig()
 			}
 			cfg.Seed = *seed
+			cfg.Trace = trace
+			cfg.Counters = reg
 			res := experiment.Overhead(cfg)
 			res.Table.Render(os.Stdout)
 			writeCSV("overhead", res.Table)
@@ -120,5 +172,16 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown figure %q; want 8, 9, 10, 11, overhead, or all\n", *fig)
 		os.Exit(2)
+	}
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", sink.Count(), *traceFile)
+	}
+	if reg != nil {
+		reg.Table("per-layer counters (all nodes)").Render(os.Stdout)
+		reg.PerNodeTable("busiest nodes", 10).Render(os.Stdout)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/bcp"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/spec"
 	"repro/internal/workload"
@@ -37,12 +38,50 @@ func main() {
 		dagProb   = flag.Float64("dag", 0.2, "probability of DAG-shaped requests")
 		commute   = flag.Float64("commute", 0.2, "probability of commutation links")
 		specFile  = flag.String("spec", "", "compose a single request from a QoSTalk-style XML spec file")
+		traceFile = flag.String("trace", "", "write a deterministic JSONL event trace to this file")
+		stats     = flag.Bool("stats", false, "print per-layer counter tables and a trace summary")
+		summarize = flag.String("summarize", "", "summarize an existing JSONL trace file and exit")
 	)
 	flag.Parse()
+
+	if *summarize != "" {
+		summarizeTrace(*summarize)
+		return
+	}
 
 	if *specFile != "" {
 		composeSpec(*specFile, *seed, *ipNodes, *peers, *functions)
 		return
+	}
+
+	var (
+		trace   obs.Tracer
+		sink    *obs.JSONLSink
+		mem     *obs.MemSink
+		reg     *obs.Registry
+		tracers obs.MultiTracer
+	)
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = obs.NewJSONLSink(f)
+		tracers = append(tracers, sink)
+	}
+	if *stats {
+		mem = &obs.MemSink{}
+		reg = obs.NewRegistry()
+		tracers = append(tracers, mem)
+	}
+	switch len(tracers) {
+	case 0:
+	case 1:
+		trace = tracers[0]
+	default:
+		trace = tracers
 	}
 
 	recCfg := recovery.DefaultConfig()
@@ -52,6 +91,8 @@ func main() {
 		Peers:    *peers,
 		Catalog:  catalog(*functions),
 		Recovery: &recCfg,
+		Trace:    trace,
+		Obs:      reg,
 	})
 	gen := workload.NewGenerator(workload.Config{
 		Catalog:     catalog(*functions),
@@ -120,6 +161,39 @@ func main() {
 	t.AddRow("reactive recoveries", rec.Reactives)
 	t.AddRow("unrecovered failures", rec.Dead)
 	t.Render(os.Stdout)
+
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", sink.Count(), *traceFile)
+	}
+	if *stats {
+		reg.Table("per-layer counters (all nodes)").Render(os.Stdout)
+		reg.PerNodeTable("busiest nodes", 10).Render(os.Stdout)
+		s := obs.Summarize(mem.Events())
+		s.Table("trace summary").Render(os.Stdout)
+	}
+}
+
+// summarizeTrace reads a JSONL trace produced by -trace and prints the
+// per-request latency/overhead breakdown.
+func summarizeTrace(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := obs.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s := obs.Summarize(events)
+	s.Table("trace summary: " + path).Render(os.Stdout)
+	s.RequestTable("per-request breakdown").Render(os.Stdout)
 }
 
 // composeSpec parses one XML composite-service spec, binds random

@@ -269,14 +269,16 @@ func Admit(w World, g *service.Graph) bool {
 			w.ReleaseBandwidth(l.a, l.b, req.Bandwidth)
 		}
 	}
-	for _, s := range g.Comps {
-		if !w.Commit(s.Comp.Peer, req.Res) {
+	fns := sortedFns(g)
+	for _, fn := range fns {
+		if !w.Commit(g.Comps[fn].Comp.Peer, req.Res) {
 			rollback()
 			return false
 		}
-		committed = append(committed, s.Comp.Peer)
+		committed = append(committed, g.Comps[fn].Comp.Peer)
 	}
-	for fn, s := range g.Comps {
+	for _, fn := range fns {
+		s := g.Comps[fn]
 		targets := []p2p.NodeID{}
 		succs := g.Pattern.Successors(fn)
 		if len(succs) == 0 {
@@ -304,13 +306,26 @@ func Admit(w World, g *service.Graph) bool {
 	return true
 }
 
+// sortedFns returns g's assigned function indices ascending, keeping
+// admission order (and its float arithmetic) identical across runs.
+func sortedFns(g *service.Graph) []int {
+	fns := make([]int, 0, len(g.Comps))
+	for fn := range g.Comps {
+		fns = append(fns, fn)
+	}
+	sort.Ints(fns)
+	return fns
+}
+
 // Release frees everything Admit committed for g.
 func Release(w World, g *service.Graph) {
 	req := g.Req
-	for _, s := range g.Comps {
-		w.Free(s.Comp.Peer, req.Res)
+	fns := sortedFns(g)
+	for _, fn := range fns {
+		w.Free(g.Comps[fn].Comp.Peer, req.Res)
 	}
-	for fn, s := range g.Comps {
+	for _, fn := range fns {
+		s := g.Comps[fn]
 		succs := g.Pattern.Successors(fn)
 		if len(succs) == 0 {
 			w.ReleaseBandwidth(s.Comp.Peer, req.Dest, req.Bandwidth)

@@ -9,8 +9,10 @@
 package bcp
 
 import (
+	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/qos"
 	"repro/internal/registry"
@@ -151,6 +153,12 @@ type Engine struct {
 	Trust TrustOracle
 	// MinTrust is the exclusion threshold used when Trust is set.
 	MinTrust float64
+	// Trace, when non-nil, receives the probe-lifecycle and session-setup
+	// events of every request this engine touches. Nil (the default)
+	// disables tracing at the cost of one pointer check per site.
+	Trace obs.Tracer
+	// Ctr, when non-nil, accumulates this peer's probe/budget counters.
+	Ctr *obs.NodeCounters
 }
 
 // TrustOracle scores a peer's trustworthiness in [0,1]; 0.5 is neutral.
@@ -254,6 +262,15 @@ func (e *Engine) localComponent(id string) (service.Component, bool) {
 // composition probing, (3) destination-side optimal selection, (4)
 // reverse-path session setup.
 func (e *Engine) Compose(req *service.Request, cb func(Result)) {
+	if e.Trace != nil {
+		e.Trace.Emit(obs.ComposeStart(e.host.Now(), e.host.ID(), req.ID,
+			req.FGraph.NumFunctions(), req.Budget))
+		inner := cb
+		cb = func(res Result) {
+			e.Trace.Emit(obs.ComposeDone(e.host.Now(), e.host.ID(), req.ID, res.Ok, res.SetupTime))
+			inner(res)
+		}
+	}
 	if err := req.Validate(); err != nil {
 		cb(Result{ReqID: req.ID, Ok: false})
 		return
@@ -463,9 +480,11 @@ func (e *Engine) TeardownExcept(old, keep *service.Graph) {
 		return
 	}
 	e.releaseLocal(old, keep)
+	// Notify peers in sorted function order: iterating the Comps map would
+	// reorder the teardown sends between otherwise identical runs.
 	sent := make(map[p2p.NodeID]bool)
-	for _, s := range old.Comps {
-		p := s.Comp.Peer
+	for _, fn := range sortedFns(old) {
+		p := old.Comps[fn].Comp.Peer
 		if p == e.host.ID() || sent[p] {
 			continue
 		}
@@ -526,7 +545,8 @@ func (e *Engine) AllocSessionBandwidth(reqID uint64, b p2p.NodeID, kbps float64)
 func (e *Engine) releaseLocal(g, keep *service.Graph) {
 	req := reqFromGraph(g)
 	self := e.host.ID()
-	for _, s := range g.Comps {
+	for _, fn := range sortedFns(g) {
+		s := g.Comps[fn]
 		if s.Comp.Peer != self {
 			continue
 		}
@@ -562,7 +582,8 @@ func (e *Engine) releaseLocal(g, keep *service.Graph) {
 func sessionPairs(g *service.Graph, self p2p.NodeID) []allocKey {
 	req := reqFromGraph(g)
 	var out []allocKey
-	for fn, s := range g.Comps {
+	for _, fn := range sortedFns(g) {
+		s := g.Comps[fn]
 		if s.Comp.Peer != self {
 			continue
 		}
@@ -584,6 +605,19 @@ func sessionPairs(g *service.Graph, self p2p.NodeID) []allocKey {
 		}
 	}
 	return out
+}
+
+// sortedFns returns g's assigned function indices in ascending order, so
+// resource release and teardown traffic is ordered identically across
+// identically seeded runs (map iteration would not be — and even the
+// float64 bandwidth arithmetic is sensitive to operation order).
+func sortedFns(g *service.Graph) []int {
+	fns := make([]int, 0, len(g.Comps))
+	for fn := range g.Comps {
+		fns = append(fns, fn)
+	}
+	sort.Ints(fns)
+	return fns
 }
 
 // reqFromGraph recovers the per-component requirement attached to the graph

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/fgraph"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/qos"
 	"repro/internal/registry"
@@ -75,6 +76,7 @@ func (e *Engine) onProbe(_ p2p.Node, msg p2p.Message) {
 	// (discovery meta-data can be stale in a churning overlay).
 	comp, ok := e.localComponent(pr.CurCompID)
 	if !ok {
+		e.dropProbe(&pr, "stale-component")
 		return
 	}
 
@@ -82,18 +84,21 @@ func (e *Engine) onProbe(_ p2p.Node, msg p2p.Message) {
 	// performance quality, then check the user's accumulated QoS bounds.
 	lat, band, ok := e.oracle.Path(msg.From, e.host.ID())
 	if !ok || band < req.Bandwidth {
-		return // link cannot carry the stream; drop the probe
+		e.dropProbe(&pr, "ingress-link") // link cannot carry the stream
+		return
 	}
 	var linkQoS qos.Vector
 	linkQoS[qos.Delay] = lat
 	pr.QoS = pr.QoS.Add(linkQoS).Add(comp.Qp)
 	if !pr.QoS.Satisfies(req.QoSReq) {
-		return // requirements already violated; drop immediately
+		e.dropProbe(&pr, "qos") // requirements already violated
+		return
 	}
 
 	// Step 2.1b: resource check and soft allocation, guarding against
 	// conflicting admission by concurrent probes.
 	if !e.holdSoft(pr.ReqID, comp.ID, req.Res) {
+		e.dropProbe(&pr, "resources")
 		return
 	}
 
@@ -112,17 +117,26 @@ func (e *Engine) onProbe(_ p2p.Node, msg p2p.Message) {
 		// destination for optimal composition selection.
 		elat, eband, ok := e.oracle.Path(e.host.ID(), req.Dest)
 		if !ok || eband < req.Bandwidth {
+			e.dropProbe(&pr, "egress-link")
 			return
 		}
 		var egress qos.Vector
 		egress[qos.Delay] = elat
 		pr.QoS = pr.QoS.Add(egress)
 		if !pr.QoS.Satisfies(req.QoSReq) {
+			e.dropProbe(&pr, "qos")
 			return
 		}
 		pr.Links = append(pr.Links, service.LinkSnapshot{
 			FromFn: pr.CurFn, ToFn: -1, BandAvail: eband, Latency: elat,
 		})
+		if e.Ctr != nil {
+			e.Ctr.ProbesReturned++
+		}
+		if e.Trace != nil {
+			e.Trace.Emit(obs.ProbeReturned(e.host.Now(), e.host.ID(), pr.ReqID,
+				req.Dest, len(pr.Visited), probeSize(pr)))
+		}
 		e.host.Send(p2p.Message{Type: MsgReport, To: req.Dest, Size: probeSize(pr), Payload: pr})
 		return
 	}
@@ -136,10 +150,23 @@ func (e *Engine) onProbe(_ p2p.Node, msg p2p.Message) {
 	}
 	e.discoverAllCached(names, func(table registry.Table, ok bool) {
 		if !ok {
+			e.dropProbe(&pr, "discovery")
 			return
 		}
 		e.spawnNext(pr, succs, comp, table)
 	})
+}
+
+// dropProbe records a probe dying at this hop with a reason, for the
+// overhead accounting and the trace.
+func (e *Engine) dropProbe(pr *Probe, reason string) {
+	if e.Ctr != nil {
+		e.Ctr.ProbesDropped++
+	}
+	if e.Trace != nil {
+		e.Trace.Emit(obs.ProbeDropped(e.host.Now(), e.host.ID(), pr.ReqID,
+			pr.Pattern.Function(pr.CurFn), pr.CurCompID, reason, len(pr.Visited)))
+	}
 }
 
 // holdSoft makes (or re-confirms) the temporary resource reservation for one
@@ -236,6 +263,14 @@ func (e *Engine) spawnNext(pr Probe, nextFns []int, prevComp service.Component, 
 			// copies to keep sibling probes independent.
 			np.Visited = append([]Hop(nil), pr.Visited...)
 			np.Links = append([]service.LinkSnapshot(nil), pr.Links...)
+			if e.Ctr != nil {
+				e.Ctr.ProbesSent++
+				e.Ctr.BudgetSpent += int64(newBudget)
+			}
+			if e.Trace != nil {
+				e.Trace.Emit(obs.ProbeSent(e.host.Now(), e.host.ID(), pr.ReqID,
+					c.Peer, pr.Pattern.Function(fn), c.ID, newBudget, len(pr.Visited)))
+			}
 			e.host.Send(p2p.Message{Type: MsgProbe, To: c.Peer, Size: probeSize(np), Payload: np})
 			sent = true
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/qos"
 	"repro/internal/service"
@@ -32,6 +33,10 @@ func (e *Engine) onReport(_ p2p.Node, msg p2p.Message) {
 	if col.done {
 		return // straggler after selection already ran
 	}
+	if e.Trace != nil {
+		e.Trace.Emit(obs.ProbeCollected(e.host.Now(), e.host.ID(), pr.ReqID,
+			msg.From, len(pr.Visited)))
+	}
 	col.records = append(col.records, pr)
 }
 
@@ -54,6 +59,10 @@ func (e *Engine) finishCollect(reqID uint64) {
 		if c.Qualified(req) {
 			qualified = append(qualified, c)
 		}
+	}
+	if e.Trace != nil {
+		e.Trace.Emit(obs.SelectDone(e.host.Now(), e.host.ID(), reqID,
+			len(candidates), len(qualified)))
 	}
 	if len(qualified) == 0 {
 		e.host.Send(p2p.Message{
@@ -277,7 +286,11 @@ func (e *Engine) onAck(_ p2p.Node, msg p2p.Message) {
 	snap := am.Best.Comps[fn]
 	req := am.Best.Req
 
-	fail := func() {
+	fail := func(reason string) {
+		if e.Trace != nil {
+			e.Trace.Emit(obs.SessionReject(e.host.Now(), e.host.ID(), am.ReqID,
+				snap.Comp.ID, reason))
+		}
 		e.host.Send(p2p.Message{
 			Type: MsgFail, To: req.Source, Size: 64,
 			Payload: failMsg{ReqID: am.ReqID, Graph: am.Best},
@@ -285,11 +298,11 @@ func (e *Engine) onAck(_ p2p.Node, msg p2p.Message) {
 	}
 
 	if _, hosted := e.localComponent(snap.Comp.ID); !hosted {
-		fail() // component vanished between probing and setup
+		fail("vanished") // component vanished between probing and setup
 		return
 	}
 	if !e.CommitSession(am.ReqID, snap.Comp.ID, req.Res) {
-		fail()
+		fail("resources")
 		return
 	}
 	// Outgoing service links: to each successor's component, or to the
@@ -297,20 +310,23 @@ func (e *Engine) onAck(_ p2p.Node, msg p2p.Message) {
 	succs := am.Best.Pattern.Successors(fn)
 	if len(succs) == 0 {
 		if !e.AllocSessionBandwidth(am.ReqID, req.Dest, req.Bandwidth) {
-			fail()
+			fail("bandwidth")
 			return
 		}
 	}
 	for _, s := range succs {
 		next, ok := am.Best.Comps[s]
 		if !ok {
-			fail()
+			fail("vanished")
 			return
 		}
 		if !e.AllocSessionBandwidth(am.ReqID, next.Comp.Peer, req.Bandwidth) {
-			fail()
+			fail("bandwidth")
 			return
 		}
+	}
+	if e.Trace != nil {
+		e.Trace.Emit(obs.SessionAdmit(e.host.Now(), e.host.ID(), am.ReqID, snap.Comp.ID))
 	}
 
 	am.Pos++

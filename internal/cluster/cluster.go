@@ -14,6 +14,7 @@ import (
 	"repro/internal/bcp"
 	"repro/internal/dht"
 	"repro/internal/media"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/qos"
 	"repro/internal/recovery"
@@ -57,6 +58,11 @@ type Options struct {
 	TrustAware bool
 	// MinTrust is the exclusion threshold for TrustAware (default 0.2).
 	MinTrust float64
+	// Trace, when non-nil, receives structured events from every layer
+	// (network, DHT, BCP, recovery). Deterministic per seed.
+	Trace obs.Tracer
+	// Obs, when non-nil, accumulates per-node counters across all layers.
+	Obs *obs.Registry
 }
 
 // Peer bundles one overlay node's protocol stack.
@@ -147,6 +153,9 @@ func New(opts Options) *Cluster {
 		return time.Duration(ov.Latency(int(from), int(to)) * float64(time.Millisecond))
 	}
 	net := simnet.NewNetwork(sim, latency, rng)
+	if o.Trace != nil || o.Obs != nil {
+		net.SetObs(o.Trace, o.Obs)
+	}
 
 	c := &Cluster{Sim: sim, Net: net, IP: ip, Overlay: ov, Rng: rng, opts: o}
 	oracle := &overlayOracle{ov: ov}
@@ -184,9 +193,16 @@ func New(opts Options) *Cluster {
 			})
 		}
 		eng := bcp.NewEngine(host, ledger, reg, oracle, comps, o.BCP)
+		eng.Trace = o.Trace
+		dn.Trace = o.Trace
+		if o.Obs != nil {
+			eng.Ctr = o.Obs.Node(host.ID())
+			dn.Ctr = eng.Ctr
+		}
 		var rec *recovery.Manager
 		if o.Recovery != nil {
 			rec = recovery.NewManager(eng, *o.Recovery)
+			rec.Trace = o.Trace
 		}
 		var tm *trust.Manager
 		if o.TrustAware {
@@ -269,9 +285,16 @@ func (c *Cluster) Join(components []string, bootstrap p2p.NodeID) *Peer {
 		})
 	}
 	eng := bcp.NewEngine(host, ledger, reg, c.Oracle(), comps, c.opts.BCP)
+	eng.Trace = c.opts.Trace
+	dn.Trace = c.opts.Trace
+	if c.opts.Obs != nil {
+		eng.Ctr = c.opts.Obs.Node(host.ID())
+		dn.Ctr = eng.Ctr
+	}
 	var rec *recovery.Manager
 	if c.opts.Recovery != nil {
 		rec = recovery.NewManager(eng, *c.opts.Recovery)
+		rec.Trace = c.opts.Trace
 	}
 	med := media.Attach(host, eng.LocalComponent)
 	p := &Peer{

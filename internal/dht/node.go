@@ -3,6 +3,7 @@ package dht
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/p2p"
 )
 
@@ -99,6 +100,11 @@ type Node struct {
 	store   map[ID][]any
 	nextReq uint64
 	pending map[uint64]*getReq
+
+	// Trace receives routing events when non-nil; Ctr accumulates hop
+	// counters. Both are optional and set by the wiring layer.
+	Trace obs.Tracer
+	Ctr   *obs.NodeCounters
 }
 
 type getReq struct {
@@ -242,10 +248,19 @@ func (n *Node) nextHop(key ID) Entry {
 func (n *Node) forwardOrDeliver(rm RouteMsg) {
 	next := n.nextHop(rm.Key)
 	if next.Addr == p2p.NoNode {
+		if n.Trace != nil {
+			n.Trace.Emit(obs.DHTDeliver(n.host.Now(), n.self.Addr, rm.Hops, payloadKind(rm)))
+		}
 		n.deliver(rm)
 		return
 	}
 	rm.Hops++
+	if n.Ctr != nil {
+		n.Ctr.DHTHops++
+	}
+	if n.Trace != nil {
+		n.Trace.Emit(obs.DHTHop(n.host.Now(), n.self.Addr, next.Addr, rm.Hops, payloadKind(rm)))
+	}
 	n.host.Send(p2p.Message{Type: MsgRoute, To: next.Addr, Size: routeSize + payloadSize(rm), Payload: rm})
 }
 
@@ -259,6 +274,18 @@ func payloadSize(rm RouteMsg) int {
 		return 24
 	}
 	return 0
+}
+
+func payloadKind(rm RouteMsg) string {
+	switch {
+	case rm.Put != nil:
+		return "put"
+	case rm.Get != nil:
+		return "get"
+	case rm.Join != nil:
+		return "join"
+	}
+	return "?"
 }
 
 func (n *Node) onRoute(_ p2p.Node, msg p2p.Message) {
@@ -384,11 +411,17 @@ func (n *Node) getTimeout(id uint64) {
 	}
 	if !req.retried {
 		req.retried = true
+		if n.Trace != nil {
+			n.Trace.Emit(obs.DHTGetTimeout(n.host.Now(), n.self.Addr, true))
+		}
 		req.cancel = n.host.After(req.timeout, func() { n.getTimeout(id) })
 		n.sendGet(id, req.key)
 		return
 	}
 	delete(n.pending, id)
+	if n.Trace != nil {
+		n.Trace.Emit(obs.DHTGetTimeout(n.host.Now(), n.self.Addr, false))
+	}
 	req.cb(nil, 0, false)
 }
 

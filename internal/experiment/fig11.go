@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fgraph"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/qos"
 	"repro/internal/service"
@@ -27,6 +28,9 @@ type Fig11Config struct {
 	Requests int
 	// Funcs is the number of functions per request (3 in the paper).
 	Funcs int
+	// Trace/Counters, when non-nil, are wired into every per-budget cluster.
+	Trace    obs.Tracer
+	Counters *obs.Registry
 }
 
 // DefaultFig11Config mirrors the paper's prototype dimensions: 102 peers,
@@ -97,6 +101,8 @@ func fig11Point(cfg Fig11Config, budget int) Fig11Point {
 		Catalog:  mediaCatalog(),
 		MinComps: 1,
 		MaxComps: 1,
+		Trace:    cfg.Trace,
+		Obs:      cfg.Counters,
 	})
 	for _, p := range c.Peers {
 		p.Engine.SelectByDelay = true

@@ -18,6 +18,7 @@ import (
 	"repro/internal/bcp"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/service"
 	"repro/internal/workload"
@@ -44,6 +45,10 @@ type Fig8Config struct {
 	Capacity qos.Resources
 	// DelayReq bounds the sampled end-to-end delay requirement (ms).
 	DelayReqMin, DelayReqMax float64
+	// Trace/Counters, when non-nil, are wired into every cluster this
+	// experiment builds (all algorithms and workload levels share them).
+	Trace    obs.Tracer
+	Counters *obs.Registry
 }
 
 // DefaultFig8Config returns the laptop-scale configuration.
@@ -158,6 +163,8 @@ func fig8Run(cfg Fig8Config, perUnit int, alg int) float64 {
 		Catalog:  fnCatalog(cfg.Functions),
 		Capacity: cfg.Capacity,
 		BCP:      bcpCfg,
+		Trace:    cfg.Trace,
+		Obs:      cfg.Counters,
 	})
 	w := c.World()
 	gen := workload.NewGenerator(workload.Config{

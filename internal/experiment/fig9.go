@@ -6,6 +6,7 @@ import (
 	"repro/internal/bcp"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/recovery"
 	"repro/internal/workload"
@@ -33,6 +34,9 @@ type Fig9Config struct {
 	RecoverAfter int
 	// Budget is the probing budget for session (re-)composition.
 	Budget int
+	// Trace/Counters, when non-nil, are wired into both runs' clusters.
+	Trace    obs.Tracer
+	Counters *obs.Registry
 }
 
 // DefaultFig9Config returns the laptop-scale configuration.
@@ -139,6 +143,8 @@ func fig9Run(cfg Fig9Config, recCfg recovery.Config) (*metrics.Timeline, fig9Sta
 		Peers:    cfg.Peers,
 		Catalog:  fnCatalog(cfg.Functions),
 		Recovery: &recCfg,
+		Trace:    cfg.Trace,
+		Obs:      cfg.Counters,
 	})
 	gen := workload.NewGenerator(workload.Config{
 		Catalog:  fnCatalog(cfg.Functions),

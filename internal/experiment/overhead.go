@@ -7,6 +7,7 @@ import (
 	"repro/internal/bcp"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -28,6 +29,9 @@ type OverheadConfig struct {
 	UpdatePeriod time.Duration
 	// Budget is BCP's probing budget per request.
 	Budget int
+	// Trace/Counters, when non-nil, are wired into the measured cluster.
+	Trace    obs.Tracer
+	Counters *obs.Registry
 }
 
 // DefaultOverheadConfig returns the laptop-scale configuration.
@@ -76,6 +80,8 @@ func Overhead(cfg OverheadConfig) OverheadResult {
 		IPNodes: cfg.IPNodes,
 		Peers:   cfg.Peers,
 		Catalog: fnCatalog(cfg.Functions),
+		Trace:   cfg.Trace,
+		Obs:     cfg.Counters,
 	})
 	gen := workload.NewGenerator(workload.Config{
 		Catalog:     fnCatalog(cfg.Functions),

@@ -1,0 +1,224 @@
+// Package obs is SpiderNet's observability subsystem: a structured,
+// allocation-conscious event tracer plus a per-node counter registry.
+//
+// Timestamps are taken from the hosting runtime's clock (the virtual clock
+// in simulation), never from wall time, so traces are bit-for-bit
+// reproducible per seed. Tracing is opt-in: every producer holds a Tracer
+// that is nil by default, and every emission site guards with a nil check,
+// so the disabled path costs one pointer comparison and zero allocations.
+//
+// The event taxonomy covers the whole stack:
+//
+//	compose.start / compose.done        BCP composition lifecycle (source)
+//	probe.sent / probe.forwarded        probe lifecycle (§4.2)
+//	probe.dropped / probe.returned
+//	probe.collected / select.done       destination-side collection (§4.3)
+//	session.admit / session.reject      reverse-path session setup
+//	session.establish                   recovery manager adopts a session
+//	dht.hop / dht.deliver               DHT routing
+//	dht.get.retry / dht.get.fail        lookup timeouts
+//	rec.probe / rec.failure             failure monitoring (§5)
+//	rec.switchover / rec.reactive / rec.dead
+//	net.drop                            message to a dead or unknown peer
+package obs
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/p2p"
+)
+
+// Event kinds. Producers use the typed constructors below; consumers switch
+// on these constants.
+const (
+	KindComposeStart   = "compose.start"
+	KindComposeDone    = "compose.done"
+	KindProbeSent      = "probe.sent"
+	KindProbeForwarded = "probe.forwarded"
+	KindProbeDropped   = "probe.dropped"
+	KindProbeReturned  = "probe.returned"
+	KindProbeCollected = "probe.collected"
+	KindSelectDone     = "select.done"
+	KindSessionAdmit   = "session.admit"
+	KindSessionReject  = "session.reject"
+	KindSessionEstab   = "session.establish"
+	KindDHTHop         = "dht.hop"
+	KindDHTDeliver     = "dht.deliver"
+	KindDHTGetRetry    = "dht.get.retry"
+	KindDHTGetFail     = "dht.get.fail"
+	KindRecProbe       = "rec.probe"
+	KindRecFailure     = "rec.failure"
+	KindRecSwitchover  = "rec.switchover"
+	KindRecReactive    = "rec.reactive"
+	KindRecDead        = "rec.dead"
+	KindNetDrop        = "net.drop"
+)
+
+// Event is one structured trace record. The zero value of every optional
+// field (Req, Fn, Comp, Hops, Budget, Bytes, Dur, Note) is omitted on the
+// wire; Peer is optional with NoNode as its absent value.
+type Event struct {
+	// TS is the virtual-clock timestamp (nanoseconds since simulation
+	// start). Deterministic per seed.
+	TS   time.Duration `json:"ts"`
+	Kind string        `json:"kind"`
+	// Node is the peer that emitted the event.
+	Node p2p.NodeID `json:"node"`
+	// Req is the request/session identifier the event belongs to.
+	Req uint64 `json:"req,omitempty"`
+	// Peer is the other endpoint (next hop, probe target, ...), NoNode if
+	// not applicable.
+	Peer p2p.NodeID `json:"peer,omitempty"`
+	// Fn is the service function involved, Comp the component ID.
+	Fn   string `json:"fn,omitempty"`
+	Comp string `json:"comp,omitempty"`
+	// Hops counts routing or probe hops so far.
+	Hops int `json:"hops,omitempty"`
+	// Budget is the probing budget carried or the backup count maintained.
+	Budget int `json:"budget,omitempty"`
+	// Bytes is the approximate wire size involved.
+	Bytes int `json:"bytes,omitempty"`
+	// Dur is a measured duration (e.g. recovery time).
+	Dur time.Duration `json:"dur,omitempty"`
+	// Note carries a short reason or free-form detail.
+	Note string `json:"note,omitempty"`
+}
+
+// UnmarshalJSON decodes an event, defaulting the optional Peer field to
+// NoNode rather than node 0.
+func (e *Event) UnmarshalJSON(b []byte) error {
+	type alias Event
+	a := alias{Peer: p2p.NoNode}
+	if err := json.Unmarshal(b, &a); err != nil {
+		return err
+	}
+	*e = Event(a)
+	return nil
+}
+
+// Tracer receives events. Implementations: JSONLSink (buffered JSONL
+// writer), MemSink (in-memory, for tests and summaries). A nil Tracer means
+// tracing is disabled; producers must guard emissions with a nil check, the
+// no-op fast path.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Typed event constructors. They only build the Event value; the caller
+// guards with `if tracer != nil` so the disabled path does no work.
+
+// ComposeStart records a source starting composition for req.
+func ComposeStart(ts time.Duration, node p2p.NodeID, req uint64, funcs, budget int) Event {
+	return Event{TS: ts, Kind: KindComposeStart, Node: node, Req: req, Peer: p2p.NoNode,
+		Hops: funcs, Budget: budget}
+}
+
+// ComposeDone records the composition outcome arriving at the source.
+func ComposeDone(ts time.Duration, node p2p.NodeID, req uint64, ok bool, setup time.Duration) Event {
+	note := "ok"
+	if !ok {
+		note = "fail"
+	}
+	return Event{TS: ts, Kind: KindComposeDone, Node: node, Req: req, Peer: p2p.NoNode,
+		Dur: setup, Note: note}
+}
+
+// ProbeSent records a probe leaving its source toward component comp on
+// peer to. ProbeForwarded is the same shape for intermediate hops.
+func ProbeSent(ts time.Duration, node p2p.NodeID, req uint64, to p2p.NodeID, fn, comp string, budget, hops int) Event {
+	kind := KindProbeSent
+	if hops > 0 {
+		kind = KindProbeForwarded
+	}
+	return Event{TS: ts, Kind: kind, Node: node, Req: req, Peer: to,
+		Fn: fn, Comp: comp, Budget: budget, Hops: hops}
+}
+
+// ProbeDropped records a probe dying at node with a reason
+// ("stale-component", "ingress-link", "qos", "resources", "egress-link",
+// "discovery").
+func ProbeDropped(ts time.Duration, node p2p.NodeID, req uint64, fn, comp, reason string, hops int) Event {
+	return Event{TS: ts, Kind: KindProbeDropped, Node: node, Req: req, Peer: p2p.NoNode,
+		Fn: fn, Comp: comp, Hops: hops, Note: reason}
+}
+
+// ProbeReturned records a completed probe reporting to the destination.
+func ProbeReturned(ts time.Duration, node p2p.NodeID, req uint64, dest p2p.NodeID, hops, bytes int) Event {
+	return Event{TS: ts, Kind: KindProbeReturned, Node: node, Req: req, Peer: dest,
+		Hops: hops, Bytes: bytes}
+}
+
+// ProbeCollected records the destination receiving one probe report.
+func ProbeCollected(ts time.Duration, node p2p.NodeID, req uint64, from p2p.NodeID, hops int) Event {
+	return Event{TS: ts, Kind: KindProbeCollected, Node: node, Req: req, Peer: from, Hops: hops}
+}
+
+// SelectDone records destination-side optimal composition selection.
+func SelectDone(ts time.Duration, node p2p.NodeID, req uint64, candidates, qualified int) Event {
+	note := "ok"
+	if qualified == 0 {
+		note = "unqualified"
+	}
+	return Event{TS: ts, Kind: KindSelectDone, Node: node, Req: req, Peer: p2p.NoNode,
+		Hops: candidates, Budget: qualified, Note: note}
+}
+
+// SessionAdmit records one peer hardening its reservation for a session.
+func SessionAdmit(ts time.Duration, node p2p.NodeID, req uint64, comp string) Event {
+	return Event{TS: ts, Kind: KindSessionAdmit, Node: node, Req: req, Peer: p2p.NoNode, Comp: comp}
+}
+
+// SessionReject records a peer refusing a session commit with a reason
+// ("vanished", "resources", "bandwidth").
+func SessionReject(ts time.Duration, node p2p.NodeID, req uint64, comp, reason string) Event {
+	return Event{TS: ts, Kind: KindSessionReject, Node: node, Req: req, Peer: p2p.NoNode,
+		Comp: comp, Note: reason}
+}
+
+// SessionEstablish records the recovery manager adopting a composed session
+// with backups maintained backup graphs.
+func SessionEstablish(ts time.Duration, node p2p.NodeID, req uint64, backups int) Event {
+	return Event{TS: ts, Kind: KindSessionEstab, Node: node, Req: req, Peer: p2p.NoNode, Budget: backups}
+}
+
+// DHTHop records a routed DHT message being forwarded to next.
+func DHTHop(ts time.Duration, node, next p2p.NodeID, hops int, what string) Event {
+	return Event{TS: ts, Kind: KindDHTHop, Node: node, Peer: next, Hops: hops, Note: what}
+}
+
+// DHTDeliver records a routed DHT message reaching its root.
+func DHTDeliver(ts time.Duration, node p2p.NodeID, hops int, what string) Event {
+	return Event{TS: ts, Kind: KindDHTDeliver, Node: node, Peer: p2p.NoNode, Hops: hops, Note: what}
+}
+
+// DHTGetTimeout records a lookup timing out; retry says whether it is being
+// retried or has failed for good.
+func DHTGetTimeout(ts time.Duration, node p2p.NodeID, retry bool) Event {
+	kind := KindDHTGetFail
+	if retry {
+		kind = KindDHTGetRetry
+	}
+	return Event{TS: ts, Kind: kind, Node: node, Peer: p2p.NoNode}
+}
+
+// RecProbe records a low-rate maintenance probe launched for a session.
+func RecProbe(ts time.Duration, node p2p.NodeID, sess uint64, first p2p.NodeID) Event {
+	return Event{TS: ts, Kind: KindRecProbe, Node: node, Req: sess, Peer: first}
+}
+
+// RecFailure records the sender detecting a broken active graph.
+func RecFailure(ts time.Duration, node p2p.NodeID, sess uint64) Event {
+	return Event{TS: ts, Kind: KindRecFailure, Node: node, Req: sess, Peer: p2p.NoNode}
+}
+
+// RecOutcome records a recovery ending: kind is KindRecSwitchover,
+// KindRecReactive, or KindRecDead, dur how long the session was broken.
+func RecOutcome(ts time.Duration, node p2p.NodeID, sess uint64, kind string, dur time.Duration) Event {
+	return Event{TS: ts, Kind: kind, Node: node, Req: sess, Peer: p2p.NoNode, Dur: dur}
+}
+
+// NetDrop records the network dropping a message to a dead or unknown peer.
+func NetDrop(ts time.Duration, from, to p2p.NodeID, msgType string, bytes int) Event {
+	return Event{TS: ts, Kind: KindNetDrop, Node: from, Peer: to, Bytes: bytes, Note: msgType}
+}

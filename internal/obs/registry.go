@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/p2p"
+)
+
+// NodeCounters is one peer's monotonically increasing overhead counters.
+// Producers cache the pointer once (at wiring time) and bump plain fields:
+// each node's protocol code is single-threaded in both runtimes, so no
+// atomics are needed on the hot path. Read them only after the run (or from
+// the owning node's event context).
+type NodeCounters struct {
+	MsgsSent  int64 // messages this node put on the wire
+	BytesSent int64 // approximate wire bytes sent
+	MsgsRecv  int64 // messages delivered to this node
+	MsgsDrop  int64 // messages this node sent that were dropped
+
+	ProbesSent     int64 // BCP probes emitted (origin + forwards)
+	ProbesDropped  int64 // probes this node killed (QoS/resources/links)
+	ProbesReturned int64 // completed probes reported to a destination
+	BudgetSpent    int64 // probing budget carried by emitted probes
+
+	DHTHops int64 // DHT messages this node forwarded
+}
+
+// add accumulates o into c.
+func (c *NodeCounters) add(o *NodeCounters) {
+	c.MsgsSent += o.MsgsSent
+	c.BytesSent += o.BytesSent
+	c.MsgsRecv += o.MsgsRecv
+	c.MsgsDrop += o.MsgsDrop
+	c.ProbesSent += o.ProbesSent
+	c.ProbesDropped += o.ProbesDropped
+	c.ProbesReturned += o.ProbesReturned
+	c.BudgetSpent += o.BudgetSpent
+	c.DHTHops += o.DHTHops
+}
+
+// Registry hands out per-node counter blocks and rolls them up into the
+// metrics tables the experiment harness prints. The map is guarded for the
+// concurrent live runtime; simulation wiring resolves each node's block
+// exactly once.
+type Registry struct {
+	mu    sync.Mutex
+	nodes map[p2p.NodeID]*NodeCounters
+}
+
+// NewRegistry creates an empty counter registry.
+func NewRegistry() *Registry {
+	return &Registry{nodes: make(map[p2p.NodeID]*NodeCounters)}
+}
+
+// Node returns id's counter block, creating it on first use. Callers keep
+// the pointer; later calls return the same block.
+func (r *Registry) Node(id p2p.NodeID) *NodeCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.nodes[id]
+	if !ok {
+		c = &NodeCounters{}
+		r.nodes[id] = c
+	}
+	return c
+}
+
+// NumNodes returns how many nodes have counter blocks.
+func (r *Registry) NumNodes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.nodes)
+}
+
+// Totals sums every node's counters.
+func (r *Registry) Totals() NodeCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t NodeCounters
+	for _, c := range r.nodes {
+		t.add(c)
+	}
+	return t
+}
+
+// Table rolls the registry up into a rendered metrics table: one row per
+// counter, summed over all nodes.
+func (r *Registry) Table(title string) *metrics.Table {
+	t := metrics.NewTable(title, "counter", "total")
+	tot := r.Totals()
+	t.AddRow("messages sent", tot.MsgsSent)
+	t.AddRow("bytes sent", tot.BytesSent)
+	t.AddRow("messages delivered", tot.MsgsRecv)
+	t.AddRow("messages dropped", tot.MsgsDrop)
+	t.AddRow("probes sent", tot.ProbesSent)
+	t.AddRow("probes dropped", tot.ProbesDropped)
+	t.AddRow("probes returned", tot.ProbesReturned)
+	t.AddRow("probe budget spent", tot.BudgetSpent)
+	t.AddRow("dht hops", tot.DHTHops)
+	return t
+}
+
+// PerNodeTable lists the top busiest nodes by messages sent (all of them if
+// top <= 0), for spotting hot spots. Rows are ordered by traffic, ties by
+// node ID, so the table is deterministic.
+func (r *Registry) PerNodeTable(title string, top int) *metrics.Table {
+	r.mu.Lock()
+	type row struct {
+		id p2p.NodeID
+		c  NodeCounters
+	}
+	rows := make([]row, 0, len(r.nodes))
+	for id, c := range r.nodes {
+		rows = append(rows, row{id, *c})
+	}
+	r.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].c.MsgsSent != rows[j].c.MsgsSent {
+			return rows[i].c.MsgsSent > rows[j].c.MsgsSent
+		}
+		return rows[i].id < rows[j].id
+	})
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	t := metrics.NewTable(title, "node", "msgs", "bytes", "recv", "probes", "dropped", "returned", "dht-hops")
+	for _, r := range rows {
+		t.AddRow(int(r.id), r.c.MsgsSent, r.c.BytesSent, r.c.MsgsRecv,
+			r.c.ProbesSent, r.c.ProbesDropped, r.c.ProbesReturned, r.c.DHTHops)
+	}
+	return t
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ReqSummary is the per-request breakdown the trace-summary reporter
+// produces: where one composition's latency and overhead went.
+type ReqSummary struct {
+	Req  uint64
+	Ok   bool
+	Done bool // a compose.done event was seen
+
+	Start   time.Duration // compose.start timestamp
+	Latency time.Duration // compose.start -> compose.done
+
+	ProbesSent     int // probe.sent + probe.forwarded
+	ProbesDropped  int
+	ProbesReturned int
+	Collected      int
+	Candidates     int // from select.done
+	Qualified      int
+	Admits         int
+	Rejects        int
+	Bytes          int64 // probe bytes reported to the destination
+}
+
+// Summary aggregates a whole trace: per-kind counts plus per-request
+// breakdowns.
+type Summary struct {
+	Events int
+	Kinds  map[string]int
+	Reqs   []ReqSummary // sorted by request ID
+
+	// Span is the virtual time covered by the trace.
+	Span time.Duration
+}
+
+// Summarize folds a trace into per-request latency/overhead breakdowns.
+// Events with Req == 0 (DHT maintenance, network drops) only contribute to
+// the kind counts.
+func Summarize(events []Event) *Summary {
+	s := &Summary{Kinds: make(map[string]int)}
+	byReq := make(map[uint64]*ReqSummary)
+	get := func(id uint64) *ReqSummary {
+		rs, ok := byReq[id]
+		if !ok {
+			rs = &ReqSummary{Req: id}
+			byReq[id] = rs
+		}
+		return rs
+	}
+	for _, ev := range events {
+		s.Events++
+		s.Kinds[ev.Kind]++
+		if ev.TS > s.Span {
+			s.Span = ev.TS
+		}
+		if ev.Req == 0 {
+			continue
+		}
+		rs := get(ev.Req)
+		switch ev.Kind {
+		case KindComposeStart:
+			rs.Start = ev.TS
+		case KindComposeDone:
+			rs.Done = true
+			rs.Ok = ev.Note == "ok"
+			rs.Latency = ev.TS - rs.Start
+		case KindProbeSent, KindProbeForwarded:
+			rs.ProbesSent++
+		case KindProbeDropped:
+			rs.ProbesDropped++
+		case KindProbeReturned:
+			rs.ProbesReturned++
+			rs.Bytes += int64(ev.Bytes)
+		case KindProbeCollected:
+			rs.Collected++
+		case KindSelectDone:
+			rs.Candidates = ev.Hops
+			rs.Qualified = ev.Budget
+		case KindSessionAdmit:
+			rs.Admits++
+		case KindSessionReject:
+			rs.Rejects++
+		}
+	}
+	s.Reqs = make([]ReqSummary, 0, len(byReq))
+	for _, rs := range byReq {
+		s.Reqs = append(s.Reqs, *rs)
+	}
+	sort.Slice(s.Reqs, func(i, j int) bool { return s.Reqs[i].Req < s.Reqs[j].Req })
+	return s
+}
+
+// Succeeded counts requests whose composition completed ok.
+func (s *Summary) Succeeded() int {
+	n := 0
+	for _, r := range s.Reqs {
+		if r.Done && r.Ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Table renders the aggregate view: event volume, request outcomes, and
+// mean probe overhead per request.
+func (s *Summary) Table(title string) *metrics.Table {
+	t := metrics.NewTable(title, "metric", "value")
+	t.AddRow("events", s.Events)
+	t.AddRow("trace span", s.Span)
+	var done, ok int
+	var lat metrics.Sample
+	var probes, dropped, returned int
+	for _, r := range s.Reqs {
+		if r.Done {
+			done++
+			if r.Ok {
+				ok++
+				lat.AddDuration(r.Latency)
+			}
+		}
+		probes += r.ProbesSent
+		dropped += r.ProbesDropped
+		returned += r.ProbesReturned
+	}
+	t.AddRow("requests traced", len(s.Reqs))
+	t.AddRow("compositions completed", done)
+	t.AddRow("compositions ok", ok)
+	if lat.N() > 0 {
+		t.AddRow("mean setup latency", time.Duration(lat.Mean()*float64(time.Millisecond)))
+		t.AddRow("p95 setup latency", time.Duration(lat.Percentile(95)*float64(time.Millisecond)))
+	}
+	t.AddRow("probes sent", probes)
+	t.AddRow("probes dropped", dropped)
+	t.AddRow("probes returned", returned)
+	if n := len(s.Reqs); n > 0 {
+		t.AddRow("probes/request", float64(probes)/float64(n))
+	}
+	kinds := make([]string, 0, len(s.Kinds))
+	for k := range s.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		t.AddRow("events."+k, s.Kinds[k])
+	}
+	return t
+}
+
+// RequestTable renders the per-request breakdown, one row per traced
+// request.
+func (s *Summary) RequestTable(title string) *metrics.Table {
+	t := metrics.NewTable(title, "req", "ok", "latency", "probes", "dropped", "returned", "candidates", "qualified", "admits")
+	for _, r := range s.Reqs {
+		status := "pending"
+		if r.Done {
+			if r.Ok {
+				status = "ok"
+			} else {
+				status = "fail"
+			}
+		}
+		t.AddRow(r.Req, status, r.Latency, r.ProbesSent, r.ProbesDropped,
+			r.ProbesReturned, r.Candidates, r.Qualified, r.Admits)
+	}
+	return t
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/bcp"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/service"
 )
@@ -33,7 +34,15 @@ func (m *Manager) scheduleProbes() {
 // tick sends one low-rate path probe along each session's active graph and
 // every maintained backup, and schedules the pong deadline checks.
 func (m *Manager) tick() {
-	for _, s := range m.sessions {
+	// Deterministic probing order: map iteration would reorder sends (and
+	// therefore the whole downstream event schedule) between runs.
+	ids := make([]uint64, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := m.sessions[id]
 		if !s.alive || s.awaitingFix {
 			continue
 		}
@@ -53,6 +62,9 @@ func (m *Manager) probeGraph(s *Session, g *service.Graph) {
 	key := g.Key()
 	sentAt := m.host.Now()
 	first := g.Comps[order[0]].Comp.Peer
+	if m.Trace != nil {
+		m.Trace.Emit(obs.RecProbe(sentAt, m.host.ID(), s.ID, first))
+	}
 	m.host.Send(p2p.Message{
 		Type: MsgProbe, To: first, Size: probeMsgSize,
 		Payload: probeMsg{
@@ -147,14 +159,24 @@ func (m *Manager) activeFailed(s *Session) {
 	m.stats.FailuresDetected++
 	s.awaitingFix = true
 	s.brokenAt = m.host.Now()
-
-	peers := make(map[p2p.NodeID]bool)
-	for _, snap := range s.Active.Comps {
-		peers[snap.Comp.Peer] = true
+	if m.Trace != nil {
+		m.Trace.Emit(obs.RecFailure(s.brokenAt, m.host.ID(), s.ID))
 	}
+
+	peerSet := make(map[p2p.NodeID]bool)
+	for _, snap := range s.Active.Comps {
+		peerSet[snap.Comp.Peer] = true
+	}
+	// Ping in sorted order so the failure-localization traffic is identical
+	// across identically seeded runs.
+	peers := make([]p2p.NodeID, 0, len(peerSet))
+	for p := range peerSet {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
 	alivePeers := make(map[p2p.NodeID]bool, len(peers))
 	waiting := len(peers)
-	for p := range peers {
+	for _, p := range peers {
 		p := p
 		m.ping(p, func(ok bool) {
 			if ok {
@@ -163,7 +185,7 @@ func (m *Manager) activeFailed(s *Session) {
 			waiting--
 			if waiting == 0 {
 				dead := make(map[p2p.NodeID]bool)
-				for q := range peers {
+				for _, q := range peers {
 					if !alivePeers[q] {
 						dead[q] = true
 					}
@@ -349,6 +371,18 @@ func (m *Manager) record(s *Session, kind EventKind) {
 		m.stats.Dead++
 	}
 	m.events = append(m.events, ev)
+	if m.Trace != nil {
+		var obsKind string
+		switch kind {
+		case EventSwitchover:
+			obsKind = obs.KindRecSwitchover
+		case EventReactive:
+			obsKind = obs.KindRecReactive
+		default:
+			obsKind = obs.KindRecDead
+		}
+		m.Trace.Emit(obs.RecOutcome(ev.Time, m.host.ID(), s.ID, obsKind, ev.RecoveryTime))
+	}
 }
 
 // attemptSetup commits a backup graph over the reverse path. cb fires

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/bcp"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/service"
 )
@@ -163,6 +164,9 @@ type Manager struct {
 	// standing as successes.
 	Trust TrustReporter
 
+	// Trace receives recovery lifecycle events when non-nil.
+	Trace obs.Tracer
+
 	sessions map[uint64]*Session
 	stats    Stats
 	events   []Event
@@ -262,6 +266,9 @@ func (m *Manager) Establish(req *service.Request, res bcp.Result) *Session {
 	m.sessions[s.ID] = s
 	if m.cfg.Proactive {
 		m.refreshBackups(s)
+	}
+	if m.Trace != nil {
+		m.Trace.Emit(obs.SessionEstablish(m.host.Now(), m.host.ID(), s.ID, len(s.Backups)))
 	}
 	if m.probeTimer == nil {
 		m.scheduleProbes()

@@ -249,14 +249,21 @@ func (g *Graph) Overlap(o *Graph) int {
 // independent peer failures: 1 - Π(1 - p_i) over the distinct hosting peers.
 func (g *Graph) FailProb() float64 {
 	seen := make(map[p2p.NodeID]float64)
+	peers := make([]p2p.NodeID, 0, len(g.Comps))
 	for _, s := range g.Comps {
 		if p, ok := seen[s.Comp.Peer]; !ok || s.Comp.FailProb > p {
+			if !ok {
+				peers = append(peers, s.Comp.Peer)
+			}
 			seen[s.Comp.Peer] = s.Comp.FailProb
 		}
 	}
+	// Multiply in sorted peer order: float rounding depends on operation
+	// order, and map iteration would make the product run-dependent.
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
 	alive := 1.0
-	for _, p := range seen {
-		alive *= 1 - p
+	for _, p := range peers {
+		alive *= 1 - seen[p]
 	}
 	return 1 - alive
 }
@@ -294,7 +301,15 @@ func (g *Graph) Qualified(req *Request) bool {
 func (g *Graph) Cost(w Weights, req *Request) float64 {
 	w = w.Normalize()
 	var cost float64
-	for _, s := range g.Comps {
+	// Sorted function order keeps the float accumulation identical across
+	// runs (map iteration order would perturb the rounding).
+	idx := make([]int, 0, len(g.Comps))
+	for i := range g.Comps {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, fn := range idx {
+		s := g.Comps[fn]
 		for i := range s.Avail {
 			if req.Res[i] == 0 {
 				continue

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/p2p"
 )
 
@@ -31,6 +32,8 @@ type Network struct {
 	latency LatencyFunc
 	nodes   map[p2p.NodeID]*simNode
 	stats   Stats
+	trace   obs.Tracer
+	obsReg  *obs.Registry
 }
 
 // NewNetwork creates a network whose message delays come from latency and
@@ -55,6 +58,19 @@ func ConstantLatency(d time.Duration) LatencyFunc {
 // Sim returns the scheduler driving this network.
 func (nw *Network) Sim() *Sim { return nw.sim }
 
+// SetObs attaches the observability subsystem: trace (may be nil) receives
+// network-level events, reg (may be nil) accumulates per-node message and
+// byte counters. Call before AddNode so nodes cache their counter blocks.
+func (nw *Network) SetObs(trace obs.Tracer, reg *obs.Registry) {
+	nw.trace = trace
+	nw.obsReg = reg
+	for id, n := range nw.nodes {
+		if reg != nil && n.ctr == nil {
+			n.ctr = reg.Node(id)
+		}
+	}
+}
+
 // Stats returns a snapshot of the overhead counters.
 func (nw *Network) Stats() Stats {
 	s := nw.stats
@@ -76,6 +92,9 @@ func (nw *Network) AddNode(id p2p.NodeID) p2p.Node {
 		panic(fmt.Sprintf("simnet: duplicate node %d", id))
 	}
 	n := &simNode{id: id, net: nw, alive: true, handlers: make(map[string]p2p.Handler)}
+	if nw.obsReg != nil {
+		n.ctr = nw.obsReg.Node(id)
+	}
 	nw.nodes[id] = n
 	return n
 }
@@ -129,6 +148,12 @@ func (nw *Network) deliver(msg p2p.Message) {
 	dst, ok := nw.nodes[msg.To]
 	if !ok || !dst.alive {
 		nw.stats.Dropped++
+		if src, live := nw.nodes[msg.From]; live && src.ctr != nil {
+			src.ctr.MsgsDrop++
+		}
+		if nw.trace != nil {
+			nw.trace.Emit(obs.NetDrop(nw.sim.Now(), msg.From, msg.To, msg.Type, msg.Size))
+		}
 		return
 	}
 	h, ok := dst.handlers[msg.Type]
@@ -137,6 +162,9 @@ func (nw *Network) deliver(msg p2p.Message) {
 		return
 	}
 	nw.stats.Delivered++
+	if dst.ctr != nil {
+		dst.ctr.MsgsRecv++
+	}
 	h(dst, msg)
 }
 
@@ -147,6 +175,7 @@ type simNode struct {
 	alive    bool
 	epoch    uint64 // bumped on failure; stale timers check it
 	handlers map[string]p2p.Handler
+	ctr      *obs.NodeCounters // nil unless a Registry is attached
 }
 
 func (n *simNode) ID() p2p.NodeID     { return n.id }
@@ -161,6 +190,10 @@ func (n *simNode) Send(msg p2p.Message) {
 		return // a crashed peer sends nothing
 	}
 	msg.From = n.id
+	if n.ctr != nil {
+		n.ctr.MsgsSent++
+		n.ctr.BytesSent += int64(msg.Size)
+	}
 	n.net.send(msg)
 }
 

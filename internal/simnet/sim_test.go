@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -124,5 +125,71 @@ func TestStepReturnsFalseWhenIdle(t *testing.T) {
 	}
 	if s.Step() {
 		t.Fatal("Step after draining should return false")
+	}
+}
+
+// TestSameTimestampOrderDeterministic runs the same randomized schedule —
+// many events piled onto few distinct timestamps, with nested re-scheduling —
+// twice from the same seed and requires the dispatch sequences to match
+// exactly. This is the property the whole trace-determinism story rests on:
+// ties are broken by insertion order, never by heap internals.
+func TestSameTimestampOrderDeterministic(t *testing.T) {
+	dispatch := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSim()
+		var order []int
+		for i := 0; i < 200; i++ {
+			i := i
+			// Only 5 distinct timestamps => heavy tie-breaking.
+			at := time.Duration(rng.Intn(5)) * time.Millisecond
+			s.Schedule(at, func() {
+				order = append(order, i)
+				if i%7 == 0 {
+					// Nested event at the current timestamp: must run
+					// after everything already queued for this instant.
+					s.Schedule(0, func() { order = append(order, 1000+i) })
+				}
+			})
+		}
+		s.RunUntilIdle()
+		return order
+	}
+	a, b := dispatch(42), dispatch(42)
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dispatch order diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCancelDuringDispatch cancels a same-timestamp event from inside an
+// earlier callback: the cancelled callback must never fire even though it
+// was already in the heap when its timestamp arrived.
+func TestCancelDuringDispatch(t *testing.T) {
+	s := NewSim()
+	fired := false
+	var cancel func()
+	s.Schedule(time.Millisecond, func() { cancel() })
+	cancel = s.Schedule(time.Millisecond, func() { fired = true })
+	s.RunUntilIdle()
+	if fired {
+		t.Fatal("event cancelled during dispatch of its own timestamp still fired")
+	}
+
+	// Cancelling from a callback scheduled earlier in *time* (not just
+	// sequence) must also hold across Run horizons.
+	s2 := NewSim()
+	fired2 := false
+	c2 := s2.Schedule(2*time.Millisecond, func() { fired2 = true })
+	s2.Schedule(time.Millisecond, func() { c2() })
+	s2.Run(5 * time.Millisecond)
+	if fired2 {
+		t.Fatal("event cancelled one tick earlier still fired")
+	}
+	if s2.Now() != 5*time.Millisecond {
+		t.Fatalf("clock=%v, want 5ms", s2.Now())
 	}
 }

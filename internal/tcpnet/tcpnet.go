@@ -19,20 +19,14 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/bcp"
-	"repro/internal/dht"
-	"repro/internal/media"
 	"repro/internal/p2p"
-	"repro/internal/recovery"
+	"repro/internal/wire"
 )
 
 // RegisterTypes registers every protocol payload type with encoding/gob.
 // Call once before creating transports.
 func RegisterTypes() {
-	dht.RegisterGob()
-	bcp.RegisterGob()
-	recovery.RegisterGob()
-	media.RegisterGob()
+	wire.RegisterAll()
 }
 
 // wireMsg is the on-the-wire envelope.

@@ -1,0 +1,29 @@
+// Package wire consolidates gob wire-format registration for every protocol
+// layer. Each layer keeps its own RegisterGob (its payload types are
+// unexported), but transports and tools should depend on this one entry
+// point so a new layer's types cannot be forgotten at one call site and
+// registered at another.
+package wire
+
+import (
+	"sync"
+
+	"repro/internal/bcp"
+	"repro/internal/dht"
+	"repro/internal/media"
+	"repro/internal/recovery"
+)
+
+var once sync.Once
+
+// RegisterAll registers every protocol payload type — DHT routing, BCP
+// composition, failure recovery, and the streaming data plane — with
+// encoding/gob. Safe to call multiple times; registration runs once.
+func RegisterAll() {
+	once.Do(func() {
+		dht.RegisterGob()
+		bcp.RegisterGob()
+		recovery.RegisterGob()
+		media.RegisterGob()
+	})
+}

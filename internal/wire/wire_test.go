@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/p2p"
+	"repro/internal/service"
+)
+
+// envelope mirrors the transports' on-the-wire shape: a concrete header
+// carrying an `any` payload, which is exactly what forces gob type
+// registration.
+type envelope struct {
+	From, To p2p.NodeID
+	Payload  any
+}
+
+func roundTrip(t *testing.T, payload any) any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(envelope{From: 1, To: 2, Payload: payload}); err != nil {
+		t.Fatalf("encode %T: %v", payload, err)
+	}
+	var out envelope
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("decode %T: %v", payload, err)
+	}
+	return out.Payload
+}
+
+func TestRegisterAllRoundTrip(t *testing.T) {
+	RegisterAll()
+	RegisterAll() // idempotent
+
+	// DHT routing message with a nested service.Component payload — the
+	// combination the discovery layer actually puts on the wire.
+	comp := service.Component{ID: "p3/scale.0", Function: "scale", Peer: 3}
+	rm := dht.RouteMsg{
+		Key:  dht.Key("scale"),
+		Hops: 2,
+		Put:  &dht.PutPayload{Item: comp, Size: 64},
+	}
+	got, ok := roundTrip(t, rm).(dht.RouteMsg)
+	if !ok {
+		t.Fatalf("RouteMsg decoded as %T", roundTrip(t, rm))
+	}
+	if got.Key != rm.Key || got.Hops != 2 || got.Put == nil {
+		t.Fatalf("RouteMsg mangled: %+v", got)
+	}
+	if c, ok := got.Put.Item.(service.Component); !ok || c.ID != comp.ID || c.Peer != comp.Peer {
+		t.Fatalf("nested Component mangled: %#v", got.Put.Item)
+	}
+
+	// GetResp carries []any of registered concrete types.
+	resp := dht.GetResp{ReqID: 7, Items: []any{comp}, Hops: 4}
+	gr, ok := roundTrip(t, resp).(dht.GetResp)
+	if !ok || gr.ReqID != 7 || len(gr.Items) != 1 {
+		t.Fatalf("GetResp mangled: %#v", gr)
+	}
+}
+
+func TestRegisterAllBeforeEncode(t *testing.T) {
+	// Without registration, gob refuses to encode an interface-typed field
+	// holding an unregistered concrete type. RegisterAll ran in the sibling
+	// test (package-level once), so this must succeed from a cold buffer.
+	RegisterAll()
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(envelope{Payload: dht.AnnounceMsg{}})
+	if err != nil {
+		t.Fatalf("AnnounceMsg not registered: %v", err)
+	}
+	if err := gob.NewEncoder(&buf).Encode(envelope{Payload: service.Component{}}); err != nil {
+		t.Fatalf("service.Component not registered: %v", err)
+	}
+}

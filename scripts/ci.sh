@@ -1,0 +1,18 @@
+#!/bin/sh
+# ci.sh — the repo's full verification gate: vet, build, race-enabled tests.
+# Run from anywhere; it cd's to the repo root. Exit status is non-zero on
+# the first failing step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== ci ok"
