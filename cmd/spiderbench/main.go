@@ -49,19 +49,18 @@ func main() {
 	// (8, 9, 11, overhead).
 	var (
 		trace   obs.Tracer
-		sink    *obs.JSONLSink
+		tf      *obs.TraceFile
 		reg     *obs.Registry
 		tracers obs.MultiTracer
 	)
 	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
+		var err error
+		tf, err = obs.CreateTrace(*traceFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		sink = obs.NewJSONLSink(f)
-		tracers = append(tracers, sink)
+		tracers = append(tracers, tf)
 	}
 	if *stats {
 		reg = obs.NewRegistry()
@@ -173,12 +172,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown figure %q; want 8, 9, 10, 11, overhead, or all\n", *fig)
 		os.Exit(2)
 	}
-	if sink != nil {
-		if err := sink.Flush(); err != nil {
+	if tf != nil {
+		n := tf.Count()
+		if err := tf.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", sink.Count(), *traceFile)
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", n, *traceFile)
 	}
 	if reg != nil {
 		reg.Table("per-layer counters (all nodes)").Render(os.Stdout)

@@ -4,9 +4,15 @@
 // video-streaming session, streams frames through it, and prints the
 // timings.
 //
+// With -admin it serves the live observability plane over HTTP
+// (/metrics in Prometheus text format, /snapshot JSON, /debug/pprof/*,
+// /healthz) while the deployment runs; -hold keeps the deployment alive
+// after the workload finishes so the endpoint can be scraped or profiled.
+//
 // Example:
 //
-//	spidernode -hosts 102 -functions 3 -frames 30 -speedup 10
+//	spidernode -hosts 102 -functions 3 -frames 30 -speedup 10 \
+//	    -admin 127.0.0.1:9090 -stats -trace run.jsonl.gz
 package main
 
 import (
@@ -16,22 +22,76 @@ import (
 	"time"
 
 	spidernet "repro"
+	"repro/internal/admin"
+	"repro/internal/obs"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	var (
-		hosts    = flag.Int("hosts", 102, "number of live peers")
-		nfuncs   = flag.Int("functions", 3, "functions to compose (<=6)")
-		frames   = flag.Int("frames", 30, "video frames to stream")
-		budget   = flag.Int("budget", 20, "probing budget")
-		speedup  = flag.Float64("speedup", 10, "wide-area time compression (1 = real time)")
-		seed     = flag.Int64("seed", 1, "deployment seed")
-		requests = flag.Int("requests", 3, "compositions to run")
+		hosts     = flag.Int("hosts", 102, "number of live peers")
+		nfuncs    = flag.Int("functions", 3, "functions to compose (<=6)")
+		frames    = flag.Int("frames", 30, "video frames to stream")
+		budget    = flag.Int("budget", 20, "probing budget")
+		speedup   = flag.Float64("speedup", 10, "wide-area time compression (1 = real time)")
+		seed      = flag.Int64("seed", 1, "deployment seed")
+		requests  = flag.Int("requests", 3, "compositions to run")
+		traceFile = flag.String("trace", "", "write a JSONL event trace to this file (.gz compresses)")
+		stats     = flag.Bool("stats", false, "print counter and histogram tables after the workload")
+		adminAddr = flag.String("admin", "", "serve /metrics, /snapshot, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		hold      = flag.Duration("hold", 0, "keep the deployment (and admin endpoint) alive this long after the workload")
 	)
 	flag.Parse()
 
-	live := spidernet.NewLive(spidernet.LiveOptions{Hosts: *hosts, Seed: *seed, Speedup: *speedup})
+	var trace obs.Tracer
+	if *traceFile != "" {
+		tf, terr := obs.CreateTrace(*traceFile)
+		if terr != nil {
+			return terr
+		}
+		trace = tf
+		// Registered before the deployment starts, so it runs after the
+		// deferred live.Close(): every peer goroutine has stopped emitting
+		// by the time the trace flushes, and a flush/close failure still
+		// reaches the exit code.
+		defer func() {
+			n := tf.Count()
+			if cerr := tf.Close(); cerr != nil {
+				if err == nil {
+					err = fmt.Errorf("trace %s: %w", *traceFile, cerr)
+				}
+				return
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", n, *traceFile)
+		}()
+	}
+	reg := spidernet.NewCounterRegistry()
+	met := spidernet.NewMetrics()
+
+	live := spidernet.NewLive(spidernet.LiveOptions{
+		Hosts:    *hosts,
+		Seed:     *seed,
+		Speedup:  *speedup,
+		Trace:    trace,
+		Counters: reg,
+		Metrics:  met,
+	})
 	defer live.Close()
+
+	if *adminAddr != "" {
+		srv, err := admin.Serve(*adminAddr, reg, met)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "admin: http://%s/metrics\n", srv.Addr())
+	}
 
 	var fns []string
 	for _, f := range spidernet.MediaFunctions() {
@@ -40,8 +100,7 @@ func main() {
 		}
 	}
 	if len(fns) < *nfuncs {
-		fmt.Fprintf(os.Stderr, "only %d functions have replicas; lower -functions\n", len(fns))
-		os.Exit(1)
+		return fmt.Errorf("only %d functions have replicas; lower -functions", len(fns))
 	}
 	fns = fns[:*nfuncs]
 	fmt.Printf("live deployment: %d hosts, composing %v\n\n", *hosts, fns)
@@ -67,4 +126,15 @@ func main() {
 		fmt.Printf("  streamed %d/%d frames\n", len(got), *frames)
 		live.Teardown(res.Best)
 	}
+
+	if *stats {
+		reg.Table("per-layer counters (all nodes)").Render(os.Stdout)
+		reg.PerNodeTable("busiest nodes", 10).Render(os.Stdout)
+		met.Table("distribution metrics").Render(os.Stdout)
+	}
+	if *hold > 0 {
+		fmt.Fprintf(os.Stderr, "holding deployment for %v\n", *hold)
+		time.Sleep(*hold)
+	}
+	return nil
 }

@@ -6,6 +6,11 @@
 // Example:
 //
 //	spidersim -peers 200 -requests 100 -budget 24 -churn 0.01
+//
+// Traces written with -trace are deterministic JSONL (gzipped when the path
+// ends in .gz); -summarize replays one, and -check verifies the protocol
+// invariants either on existing trace files (positional arguments) or on
+// the run itself.
 package main
 
 import (
@@ -24,6 +29,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		ipNodes   = flag.Int("ipnodes", 2000, "IP-layer nodes")
@@ -38,43 +50,48 @@ func main() {
 		dagProb   = flag.Float64("dag", 0.2, "probability of DAG-shaped requests")
 		commute   = flag.Float64("commute", 0.2, "probability of commutation links")
 		specFile  = flag.String("spec", "", "compose a single request from a QoSTalk-style XML spec file")
-		traceFile = flag.String("trace", "", "write a deterministic JSONL event trace to this file")
-		stats     = flag.Bool("stats", false, "print per-layer counter tables and a trace summary")
+		traceFile = flag.String("trace", "", "write a deterministic JSONL event trace to this file (.gz compresses)")
+		stats     = flag.Bool("stats", false, "print per-layer counter tables, histograms, and a trace summary")
 		summarize = flag.String("summarize", "", "summarize an existing JSONL trace file and exit")
+		check     = flag.Bool("check", false, "verify trace invariants: on the given trace files, or on this run")
 	)
 	flag.Parse()
 
 	if *summarize != "" {
-		summarizeTrace(*summarize)
-		return
+		return summarizeTrace(*summarize)
+	}
+
+	if *check && flag.NArg() > 0 {
+		return checkTraceFiles(flag.Args())
 	}
 
 	if *specFile != "" {
-		composeSpec(*specFile, *seed, *ipNodes, *peers, *functions)
-		return
+		return composeSpec(*specFile, *seed, *ipNodes, *peers, *functions)
 	}
 
 	var (
 		trace   obs.Tracer
-		sink    *obs.JSONLSink
+		tf      *obs.TraceFile
 		mem     *obs.MemSink
 		reg     *obs.Registry
+		met     *obs.Metrics
 		tracers obs.MultiTracer
 	)
 	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
+		var err error
+		tf, err = obs.CreateTrace(*traceFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		defer f.Close()
-		sink = obs.NewJSONLSink(f)
-		tracers = append(tracers, sink)
+		tracers = append(tracers, tf)
 	}
-	if *stats {
+	if *stats || *check {
 		mem = &obs.MemSink{}
 		reg = obs.NewRegistry()
 		tracers = append(tracers, mem)
+	}
+	if *stats {
+		met = obs.NewMetrics()
 	}
 	switch len(tracers) {
 	case 0:
@@ -93,6 +110,7 @@ func main() {
 		Recovery: &recCfg,
 		Trace:    trace,
 		Obs:      reg,
+		Metrics:  met,
 	})
 	gen := workload.NewGenerator(workload.Config{
 		Catalog:     catalog(*functions),
@@ -162,47 +180,79 @@ func main() {
 	t.AddRow("unrecovered failures", rec.Dead)
 	t.Render(os.Stdout)
 
-	if sink != nil {
-		if err := sink.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if tf != nil {
+		n := tf.Count()
+		if err := tf.Close(); err != nil {
+			return fmt.Errorf("trace %s: %w", *traceFile, err)
 		}
-		fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", sink.Count(), *traceFile)
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", n, *traceFile)
 	}
 	if *stats {
 		reg.Table("per-layer counters (all nodes)").Render(os.Stdout)
 		reg.PerNodeTable("busiest nodes", 10).Render(os.Stdout)
+		met.Table("distribution metrics").Render(os.Stdout)
 		s := obs.Summarize(mem.Events())
 		s.Table("trace summary").Render(os.Stdout)
 	}
+	if *check {
+		events := mem.Events()
+		vs := obs.Check(events)
+		vs = append(vs, obs.CheckTotals(events, reg.Totals())...)
+		if err := reportViolations("this run", vs); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "check: %d events ok\n", len(events))
+	}
+	return nil
+}
+
+// checkTraceFiles verifies trace invariants on existing (possibly gzipped)
+// trace files. Counter cross-checks need the live registry, so file mode
+// runs only the event-level invariants.
+func checkTraceFiles(paths []string) error {
+	for _, path := range paths {
+		events, err := obs.LoadTrace(path)
+		if err != nil {
+			return err
+		}
+		if err := reportViolations(path, obs.Check(events)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "check: %s: %d events ok\n", path, len(events))
+	}
+	return nil
+}
+
+// reportViolations prints every violation and returns an error if any.
+func reportViolations(what string, vs []obs.Violation) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	for _, v := range vs {
+		fmt.Fprintf(os.Stderr, "check: %s: %s\n", what, v)
+	}
+	return fmt.Errorf("check: %s: %d invariant violation(s)", what, len(vs))
 }
 
 // summarizeTrace reads a JSONL trace produced by -trace and prints the
 // per-request latency/overhead breakdown.
-func summarizeTrace(path string) {
-	f, err := os.Open(path)
+func summarizeTrace(path string) error {
+	events, err := obs.LoadTrace(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	events, err := obs.ReadTrace(f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	s := obs.Summarize(events)
 	s.Table("trace summary: " + path).Render(os.Stdout)
 	s.RequestTable("per-request breakdown").Render(os.Stdout)
+	return nil
 }
 
 // composeSpec parses one XML composite-service spec, binds random
 // endpoints, and composes it on a fresh deployment.
-func composeSpec(path string, seed int64, ipNodes, peers, functions int) {
+func composeSpec(path string, seed int64, ipNodes, peers, functions int) error {
 	req, err := spec.ParseFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	c := cluster.New(cluster.Options{
 		Seed: seed, IPNodes: ipNodes, Peers: peers, Catalog: catalog(functions),
@@ -237,6 +287,7 @@ func composeSpec(path string, seed int64, ipNodes, peers, functions int) {
 	if !done {
 		fmt.Println("composition never completed")
 	}
+	return nil
 }
 
 func catalog(n int) []string {

@@ -159,6 +159,14 @@ type Engine struct {
 	Trace obs.Tracer
 	// Ctr, when non-nil, accumulates this peer's probe/budget counters.
 	Ctr *obs.NodeCounters
+	// Met, when non-nil, observes composition latency and probe-shape
+	// histograms (the online metrics plane). Same nil-guard convention as
+	// Trace.
+	Met *obs.Metrics
+
+	// probeSeq numbers the probes this engine emits, for trace-checkable
+	// probe identities.
+	probeSeq uint64
 }
 
 // TrustOracle scores a peer's trustworthiness in [0,1]; 0.5 is neutral.
@@ -262,12 +270,20 @@ func (e *Engine) localComponent(id string) (service.Component, bool) {
 // composition probing, (3) destination-side optimal selection, (4)
 // reverse-path session setup.
 func (e *Engine) Compose(req *service.Request, cb func(Result)) {
-	if e.Trace != nil {
-		e.Trace.Emit(obs.ComposeStart(e.host.Now(), e.host.ID(), req.ID,
-			req.FGraph.NumFunctions(), req.Budget))
+	if e.Trace != nil || e.Met != nil {
+		if e.Trace != nil {
+			e.Trace.Emit(obs.ComposeStart(e.host.Now(), e.host.ID(), req.ID,
+				req.FGraph.NumFunctions(), req.Budget))
+		}
 		inner := cb
 		cb = func(res Result) {
-			e.Trace.Emit(obs.ComposeDone(e.host.Now(), e.host.ID(), req.ID, res.Ok, res.SetupTime))
+			if e.Trace != nil {
+				e.Trace.Emit(obs.ComposeDone(e.host.Now(), e.host.ID(), req.ID, res.Ok, res.SetupTime))
+			}
+			if e.Met != nil && res.Ok {
+				e.Met.SetupLatency.ObserveDuration(res.SetupTime)
+				e.Met.DiscoveryLatency.ObserveDuration(res.DiscoveryTime)
+			}
 			inner(res)
 		}
 	}

@@ -20,6 +20,11 @@ type Probe struct {
 	PatternIdx int
 	Pattern    *fgraph.Graph
 	Budget     int // remaining probing budget carried by this probe
+	// UID identifies this probe instance uniquely across the run (emitting
+	// node in the high bits, per-engine sequence in the low bits), so trace
+	// checkers can account for every probe exactly. 0 only on the synthetic
+	// pre-launch root, which is never put on the wire.
+	UID uint64
 
 	CurFn     int    // function index this probe is being sent to examine
 	CurCompID string // chosen component for CurFn on the receiving peer
@@ -131,11 +136,14 @@ func (e *Engine) onProbe(_ p2p.Node, msg p2p.Message) {
 			FromFn: pr.CurFn, ToFn: -1, BandAvail: eband, Latency: elat,
 		})
 		if e.Ctr != nil {
-			e.Ctr.ProbesReturned++
+			e.Ctr.ProbesReturned.Add(1)
 		}
 		if e.Trace != nil {
 			e.Trace.Emit(obs.ProbeReturned(e.host.Now(), e.host.ID(), pr.ReqID,
-				req.Dest, len(pr.Visited), probeSize(pr)))
+				req.Dest, len(pr.Visited), probeSize(pr), pr.UID))
+		}
+		if e.Met != nil {
+			e.Met.ProbeHops.Observe(float64(len(pr.Visited)))
 		}
 		e.host.Send(p2p.Message{Type: MsgReport, To: req.Dest, Size: probeSize(pr), Payload: pr})
 		return
@@ -153,7 +161,12 @@ func (e *Engine) onProbe(_ p2p.Node, msg p2p.Message) {
 			e.dropProbe(&pr, "discovery")
 			return
 		}
-		e.spawnNext(pr, succs, comp, table)
+		if !e.spawnNext(pr, succs, comp, table) {
+			// No eligible next hop anywhere: the probe dies here. Without
+			// this record the probe would vanish from the accounting and
+			// break the trace checker's conservation invariant.
+			e.dropProbe(&pr, "no-candidate")
+		}
 	})
 }
 
@@ -161,11 +174,11 @@ func (e *Engine) onProbe(_ p2p.Node, msg p2p.Message) {
 // overhead accounting and the trace.
 func (e *Engine) dropProbe(pr *Probe, reason string) {
 	if e.Ctr != nil {
-		e.Ctr.ProbesDropped++
+		e.Ctr.ProbesDropped.Add(1)
 	}
 	if e.Trace != nil {
 		e.Trace.Emit(obs.ProbeDropped(e.host.Now(), e.host.ID(), pr.ReqID,
-			pr.Pattern.Function(pr.CurFn), pr.CurCompID, reason, len(pr.Visited)))
+			pr.Pattern.Function(pr.CurFn), pr.CurCompID, reason, len(pr.Visited), pr.UID))
 	}
 }
 
@@ -258,24 +271,37 @@ func (e *Engine) spawnNext(pr Probe, nextFns []int, prevComp service.Component, 
 			np.Budget = newBudget
 			np.CurFn = fn
 			np.CurCompID = c.ID
+			np.UID = e.nextProbeUID()
 			// Visited/Links slices are shared by value-copy; appends in the
 			// receiver re-slice safely only if capacity isn't shared. Force
 			// copies to keep sibling probes independent.
 			np.Visited = append([]Hop(nil), pr.Visited...)
 			np.Links = append([]service.LinkSnapshot(nil), pr.Links...)
 			if e.Ctr != nil {
-				e.Ctr.ProbesSent++
-				e.Ctr.BudgetSpent += int64(newBudget)
+				e.Ctr.ProbesSent.Add(1)
+				e.Ctr.BudgetSpent.Add(int64(newBudget))
 			}
 			if e.Trace != nil {
 				e.Trace.Emit(obs.ProbeSent(e.host.Now(), e.host.ID(), pr.ReqID,
-					c.Peer, pr.Pattern.Function(fn), c.ID, newBudget, len(pr.Visited)))
+					c.Peer, pr.Pattern.Function(fn), c.ID, newBudget, len(pr.Visited),
+					np.UID, pr.UID))
+			}
+			if e.Met != nil {
+				e.Met.ProbeBudget.Observe(float64(newBudget))
 			}
 			e.host.Send(p2p.Message{Type: MsgProbe, To: c.Peer, Size: probeSize(np), Payload: np})
 			sent = true
 		}
 	}
 	return sent
+}
+
+// nextProbeUID mints a run-unique, per-seed-deterministic probe identity:
+// the emitting node in the high bits, this engine's emission sequence in the
+// low bits.
+func (e *Engine) nextProbeUID() uint64 {
+	e.probeSeq++
+	return uint64(e.host.ID())<<32 | e.probeSeq
 }
 
 // eligible filters a duplicate list down to components this probe may visit

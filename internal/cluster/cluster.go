@@ -63,6 +63,9 @@ type Options struct {
 	Trace obs.Tracer
 	// Obs, when non-nil, accumulates per-node counters across all layers.
 	Obs *obs.Registry
+	// Metrics, when non-nil, observes the online histograms (setup latency,
+	// probe hops/budget, DHT lookups, switchover duration, wire bytes).
+	Metrics *obs.Metrics
 }
 
 // Peer bundles one overlay node's protocol stack.
@@ -153,8 +156,8 @@ func New(opts Options) *Cluster {
 		return time.Duration(ov.Latency(int(from), int(to)) * float64(time.Millisecond))
 	}
 	net := simnet.NewNetwork(sim, latency, rng)
-	if o.Trace != nil || o.Obs != nil {
-		net.SetObs(o.Trace, o.Obs)
+	if o.Trace != nil || o.Obs != nil || o.Metrics != nil {
+		net.SetObs(o.Trace, o.Obs, o.Metrics)
 	}
 
 	c := &Cluster{Sim: sim, Net: net, IP: ip, Overlay: ov, Rng: rng, opts: o}
@@ -195,6 +198,8 @@ func New(opts Options) *Cluster {
 		eng := bcp.NewEngine(host, ledger, reg, oracle, comps, o.BCP)
 		eng.Trace = o.Trace
 		dn.Trace = o.Trace
+		eng.Met = o.Metrics
+		dn.Met = o.Metrics
 		if o.Obs != nil {
 			eng.Ctr = o.Obs.Node(host.ID())
 			dn.Ctr = eng.Ctr
@@ -203,6 +208,7 @@ func New(opts Options) *Cluster {
 		if o.Recovery != nil {
 			rec = recovery.NewManager(eng, *o.Recovery)
 			rec.Trace = o.Trace
+			rec.Met = o.Metrics
 		}
 		var tm *trust.Manager
 		if o.TrustAware {
@@ -287,6 +293,8 @@ func (c *Cluster) Join(components []string, bootstrap p2p.NodeID) *Peer {
 	eng := bcp.NewEngine(host, ledger, reg, c.Oracle(), comps, c.opts.BCP)
 	eng.Trace = c.opts.Trace
 	dn.Trace = c.opts.Trace
+	eng.Met = c.opts.Metrics
+	dn.Met = c.opts.Metrics
 	if c.opts.Obs != nil {
 		eng.Ctr = c.opts.Obs.Node(host.ID())
 		dn.Ctr = eng.Ctr
@@ -295,6 +303,7 @@ func (c *Cluster) Join(components []string, bootstrap p2p.NodeID) *Peer {
 	if c.opts.Recovery != nil {
 		rec = recovery.NewManager(eng, *c.opts.Recovery)
 		rec.Trace = c.opts.Trace
+		rec.Met = c.opts.Metrics
 	}
 	med := media.Attach(host, eng.LocalComponent)
 	p := &Peer{

@@ -102,9 +102,11 @@ type Node struct {
 	pending map[uint64]*getReq
 
 	// Trace receives routing events when non-nil; Ctr accumulates hop
-	// counters. Both are optional and set by the wiring layer.
+	// counters; Met observes lookup-latency histograms. All are optional
+	// and set by the wiring layer.
 	Trace obs.Tracer
 	Ctr   *obs.NodeCounters
+	Met   *obs.Metrics
 }
 
 type getReq struct {
@@ -113,6 +115,7 @@ type getReq struct {
 	cancel  p2p.CancelFunc
 	retried bool
 	timeout time.Duration
+	started time.Duration // host clock at Get, for the lookup histogram
 }
 
 // New creates a DHT node on host. alive is the liveness oracle standing in
@@ -256,7 +259,7 @@ func (n *Node) forwardOrDeliver(rm RouteMsg) {
 	}
 	rm.Hops++
 	if n.Ctr != nil {
-		n.Ctr.DHTHops++
+		n.Ctr.DHTHops.Add(1)
 	}
 	if n.Trace != nil {
 		n.Trace.Emit(obs.DHTHop(n.host.Now(), n.self.Addr, next.Addr, rm.Hops, payloadKind(rm)))
@@ -394,7 +397,7 @@ func (n *Node) Put(key ID, item any, size int) {
 func (n *Node) Get(key ID, timeout time.Duration, cb func(items []any, hops int, ok bool)) {
 	n.nextReq++
 	id := n.nextReq
-	req := &getReq{key: key, cb: cb, timeout: timeout}
+	req := &getReq{key: key, cb: cb, timeout: timeout, started: n.host.Now()}
 	n.pending[id] = req
 	req.cancel = n.host.After(timeout, func() { n.getTimeout(id) })
 	n.sendGet(id, key)
@@ -433,6 +436,9 @@ func (n *Node) onGetResp(_ p2p.Node, msg p2p.Message) {
 	}
 	delete(n.pending, gr.ReqID)
 	req.cancel()
+	if n.Met != nil {
+		n.Met.DHTLookup.ObserveDuration(n.host.Now() - req.started)
+	}
 	req.cb(gr.Items, gr.Hops, true)
 }
 

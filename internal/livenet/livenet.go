@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/p2p"
 )
 
@@ -37,6 +38,10 @@ type Network struct {
 	bytes    atomic.Int64
 	dropped  atomic.Int64
 	closed   atomic.Bool
+
+	trace  obs.Tracer
+	obsReg *obs.Registry
+	met    *obs.Metrics
 }
 
 // NewNetwork creates a live network over the n×n latency matrix (one-way
@@ -61,6 +66,24 @@ func (nw *Network) Stats() Stats {
 		MessagesSent: nw.messages.Load(),
 		BytesSent:    nw.bytes.Load(),
 		Dropped:      nw.dropped.Load(),
+	}
+}
+
+// SetObs attaches the observability subsystem: trace (may be nil) receives
+// network-level events, reg (may be nil) accumulates per-node message and
+// byte counters, met (may be nil) observes wire-level histograms. Call
+// before AddNode so nodes cache their counter blocks; counters are atomic,
+// so the admin endpoint reads them while traffic flows.
+func (nw *Network) SetObs(trace obs.Tracer, reg *obs.Registry, met *obs.Metrics) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.trace = trace
+	nw.obsReg = reg
+	nw.met = met
+	for id, n := range nw.nodes {
+		if reg != nil && n.ctr == nil {
+			n.ctr = reg.Node(id)
+		}
 	}
 }
 
@@ -92,6 +115,9 @@ func (nw *Network) AddNode(id p2p.NodeID, seed int64) p2p.Node {
 		quit:     make(chan struct{}),
 		handlers: make(map[string]p2p.Handler),
 		rng:      rand.New(rand.NewSource(seed ^ int64(id)<<17)),
+	}
+	if nw.obsReg != nil {
+		n.ctr = nw.obsReg.Node(id)
 	}
 	n.alive.Store(true)
 	nw.nodes[id] = n
@@ -168,14 +194,24 @@ func (nw *Network) Close() {
 func (nw *Network) send(msg p2p.Message) {
 	nw.messages.Add(1)
 	nw.bytes.Add(int64(msg.Size))
+	if nw.met != nil {
+		nw.met.WireBytes.Observe(float64(msg.Size))
+	}
 	lat := nw.lat[int(msg.From)][int(msg.To)]
 	d := nw.Scale(time.Duration(lat * float64(time.Millisecond)))
 	time.AfterFunc(d, func() {
 		nw.mu.Lock()
 		dst := nw.nodes[msg.To]
+		src := nw.nodes[msg.From]
 		nw.mu.Unlock()
 		if dst == nil || !dst.alive.Load() {
 			nw.dropped.Add(1)
+			if src != nil && src.ctr != nil {
+				src.ctr.MsgsDrop.Add(1)
+			}
+			if nw.trace != nil {
+				nw.trace.Emit(obs.NetDrop(time.Since(nw.start), msg.From, msg.To, msg.Type, msg.Size))
+			}
 			return
 		}
 		select {
@@ -200,6 +236,7 @@ type liveNode struct {
 	handlers map[string]p2p.Handler
 
 	rng *rand.Rand
+	ctr *obs.NodeCounters // nil unless a Registry is attached
 }
 
 func (n *liveNode) loop() {
@@ -215,6 +252,9 @@ func (n *liveNode) loop() {
 			case func():
 				v()
 			case p2p.Message:
+				if n.ctr != nil {
+					n.ctr.MsgsRecv.Add(1)
+				}
 				n.hmu.Lock()
 				h := n.handlers[v.Type]
 				n.hmu.Unlock()
@@ -242,6 +282,10 @@ func (n *liveNode) Send(msg p2p.Message) {
 		return
 	}
 	msg.From = n.id
+	if n.ctr != nil {
+		n.ctr.MsgsSent.Add(1)
+		n.ctr.BytesSent.Add(int64(msg.Size))
+	}
 	n.net.send(msg)
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bcp"
 	"repro/internal/dht"
 	"repro/internal/media"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/qos"
 	"repro/internal/registry"
@@ -31,6 +32,15 @@ type TestbedOptions struct {
 	BCP     bcp.Config
 	// Capacity per host (default cpu=20, mem=200).
 	Capacity qos.Resources
+	// Trace, when non-nil, receives structured events from every layer.
+	// Live-runtime timestamps come from the wall clock, so traces are not
+	// byte-reproducible the way simulator traces are.
+	Trace obs.Tracer
+	// Obs, when non-nil, accumulates per-node counters across all layers.
+	Obs *obs.Registry
+	// Metrics, when non-nil, observes the online histograms; with Obs it is
+	// what the admin endpoint serves during a live run.
+	Metrics *obs.Metrics
 }
 
 // TestbedPeer is one live host's protocol stack.
@@ -90,6 +100,9 @@ func NewTestbed(opts TestbedOptions) *Testbed {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	lat := topology.WideAreaLatencies(opts.Hosts, rng)
 	nw := NewNetwork(lat, opts.Speedup)
+	if opts.Trace != nil || opts.Obs != nil || opts.Metrics != nil {
+		nw.SetObs(opts.Trace, opts.Obs, opts.Metrics)
+	}
 	oracle := &flatOracle{lat: lat}
 
 	tb := &Testbed{Net: nw, opts: opts}
@@ -109,6 +122,14 @@ func NewTestbed(opts TestbedOptions) *Testbed {
 			Qp:       qp,
 		}}
 		eng := bcp.NewEngine(host, ledger, reg, oracle, comps, opts.BCP)
+		eng.Trace = opts.Trace
+		dn.Trace = opts.Trace
+		eng.Met = opts.Metrics
+		dn.Met = opts.Metrics
+		if opts.Obs != nil {
+			eng.Ctr = opts.Obs.Node(host.ID())
+			dn.Ctr = eng.Ctr
+		}
 		med := media.Attach(host, eng.LocalComponent)
 		tb.Peers = append(tb.Peers, &TestbedPeer{
 			Node: host, Ledger: ledger, DHT: dn, Registry: reg,

@@ -36,11 +36,15 @@ func (r Ratio) Value() float64 {
 
 // Sample accumulates scalar observations.
 type Sample struct {
-	xs []float64
+	xs     []float64
+	sorted []float64 // cached sorted copy; nil after any Add
 }
 
 // Add records one observation.
-func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = nil
+}
 
 // AddDuration records a duration in milliseconds.
 func (s *Sample) AddDuration(d time.Duration) { s.Add(float64(d) / float64(time.Millisecond)) }
@@ -61,12 +65,18 @@ func (s *Sample) Mean() float64 {
 }
 
 // Percentile returns the p'th percentile (0<=p<=100) using nearest-rank.
+// The sorted order is computed once and cached until the next Add, so the
+// usual p50/p90/p99 reporting burst sorts the sample once instead of once
+// per percentile.
 func (s *Sample) Percentile(p float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
-	xs := append([]float64(nil), s.xs...)
-	sort.Float64s(xs)
+	if s.sorted == nil {
+		s.sorted = append([]float64(nil), s.xs...)
+		sort.Float64s(s.sorted)
+	}
+	xs := s.sorted
 	rank := int(math.Ceil(p/100*float64(len(xs)))) - 1
 	if rank < 0 {
 		rank = 0

@@ -49,6 +49,33 @@ func TestSampleStats(t *testing.T) {
 	}
 }
 
+// TestSamplePercentileCacheInvalidation guards the sorted-slice cache: an
+// Add between Percentile calls must invalidate it, and repeated calls on an
+// unchanged sample must not disturb the insertion order visible via Add.
+func TestSamplePercentileCacheInvalidation(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	s.Add(1)
+	if got := s.Percentile(100); got != 5 {
+		t.Fatalf("P100=%v", got)
+	}
+	// A later, larger observation must be seen despite the cached sort.
+	s.Add(9)
+	if got := s.Percentile(100); got != 9 {
+		t.Fatalf("P100 after Add=%v want 9", got)
+	}
+	// A later, smaller observation shifts the low percentiles too.
+	s.Add(0)
+	if got := s.Percentile(0); got != 0 {
+		t.Fatalf("P0 after Add=%v want 0", got)
+	}
+	// Repeated percentile queries (the p50/p90/p99 reporting burst) agree
+	// with each other without re-sorting.
+	if s.Percentile(50) != s.Percentile(50) {
+		t.Fatal("cached percentile unstable")
+	}
+}
+
 func TestSampleAddDuration(t *testing.T) {
 	var s Sample
 	s.AddDuration(1500 * time.Millisecond)

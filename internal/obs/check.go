@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Violation is one broken trace invariant: a stable machine-checkable name
+// plus a human-readable detail. An empty violation list is the correctness
+// gate's passing verdict.
+type Violation struct {
+	Name   string
+	Detail string
+}
+
+func (v Violation) String() string { return v.Name + ": " + v.Detail }
+
+// Violation names reported by Check/CheckTotals.
+const (
+	VioProbeMissingPID   = "probe-missing-pid"
+	VioProbeDuplicatePID = "probe-duplicate-pid"
+	VioProbeUnknownPID   = "probe-unknown-pid"
+	VioProbeDoubleTerm   = "probe-double-termination"
+	VioProbeConservation = "probe-conservation"
+	VioBudgetExceeded    = "budget-exceeded"
+	VioEstabWithoutAdmit = "establish-without-admit"
+	VioDoneWithoutStart  = "done-without-start"
+	VioDoneBeforeStart   = "done-before-start"
+	VioMultipleDone      = "multiple-done"
+	VioCounterMismatch   = "counter-mismatch"
+)
+
+// Check replays a trace and verifies protocol invariants that must hold on
+// any complete run, regardless of seed, workload, or churn:
+//
+//   - every emitted probe (probe.sent / probe.forwarded) carries a unique
+//     PID and resolves exactly one way: it dies with a probe.dropped
+//     record, completes with a probe.returned record, or is consumed by
+//     splitting into child probes (emissions carrying its PID as their
+//     PPID). The probes that resolve no way at all must be exactly the
+//     ones the network dropped on the wire (net.drop of a bcp.probe
+//     message) — nothing may leak silently;
+//   - a child probe's budget never exceeds its parent's (the split of
+//     §4.2 only divides), and origin probes never exceed the request budget
+//     announced in compose.start;
+//   - a session establishes only after at least one peer admitted it
+//     (session.admit at or before session.establish);
+//   - compose.done happens at most once per request, after its
+//     compose.start.
+//
+// Traces cut off mid-run (a simulator duration expiring with probes in
+// flight) can legitimately fail the conservation check; the seeded CI runs
+// are sized so all probing settles before the cutoff.
+func Check(events []Event) []Violation {
+	var vs []Violation
+
+	type emission struct {
+		req    uint64
+		ppid   uint64
+		budget int
+	}
+	emitted := make(map[uint64]emission)
+	terms := make(map[uint64]int)
+	children := make(map[uint64]int) // pid -> child emissions split from it
+	starts := make(map[uint64]Event)
+	var dones []Event
+	admitMin := make(map[uint64]time.Duration)
+	var estabs []Event
+	netdropProbes := 0
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindProbeSent, KindProbeForwarded:
+			if ev.PID == 0 {
+				vs = append(vs, Violation{VioProbeMissingPID,
+					fmt.Sprintf("%s at t=%v node=%d req=%d has no pid", ev.Kind, ev.TS, ev.Node, ev.Req)})
+				continue
+			}
+			if _, dup := emitted[ev.PID]; dup {
+				vs = append(vs, Violation{VioProbeDuplicatePID,
+					fmt.Sprintf("pid=%d emitted twice (req=%d)", ev.PID, ev.Req)})
+				continue
+			}
+			emitted[ev.PID] = emission{req: ev.Req, ppid: ev.PPID, budget: ev.Budget}
+			if ev.PPID != 0 {
+				children[ev.PPID]++
+			}
+		case KindProbeDropped, KindProbeReturned:
+			if ev.PID == 0 {
+				vs = append(vs, Violation{VioProbeMissingPID,
+					fmt.Sprintf("%s at t=%v node=%d req=%d has no pid", ev.Kind, ev.TS, ev.Node, ev.Req)})
+				continue
+			}
+			terms[ev.PID]++
+		case KindComposeStart:
+			if _, seen := starts[ev.Req]; !seen {
+				starts[ev.Req] = ev
+			}
+		case KindComposeDone:
+			dones = append(dones, ev)
+		case KindSessionAdmit:
+			if t, ok := admitMin[ev.Req]; !ok || ev.TS < t {
+				admitMin[ev.Req] = ev.TS
+			}
+		case KindSessionEstab:
+			estabs = append(estabs, ev)
+		case KindNetDrop:
+			if ev.Note == "bcp.probe" {
+				netdropProbes++
+			}
+		}
+	}
+
+	// Probe accounting, in pid order for deterministic reports.
+	pids := make([]uint64, 0, len(emitted))
+	for pid := range emitted {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	unresolved := 0
+	for _, pid := range pids {
+		em := emitted[pid]
+		switch n := terms[pid]; {
+		case n == 0:
+			if children[pid] == 0 {
+				unresolved++
+			}
+		case n > 1:
+			vs = append(vs, Violation{VioProbeDoubleTerm,
+				fmt.Sprintf("pid=%d (req=%d) terminated %d times", pid, em.req, n)})
+		}
+		if em.ppid != 0 {
+			parent, ok := emitted[em.ppid]
+			if !ok {
+				vs = append(vs, Violation{VioProbeUnknownPID,
+					fmt.Sprintf("pid=%d (req=%d) split from unknown parent pid=%d", pid, em.req, em.ppid)})
+			} else if em.budget > parent.budget {
+				vs = append(vs, Violation{VioBudgetExceeded,
+					fmt.Sprintf("pid=%d budget=%d exceeds parent pid=%d budget=%d (req=%d)",
+						pid, em.budget, em.ppid, parent.budget, em.req)})
+			}
+		} else if st, ok := starts[em.req]; ok && st.Budget > 0 && em.budget > st.Budget {
+			vs = append(vs, Violation{VioBudgetExceeded,
+				fmt.Sprintf("origin pid=%d budget=%d exceeds request budget=%d (req=%d)",
+					pid, em.budget, st.Budget, em.req)})
+		}
+	}
+	// Terminations of probes that were never emitted.
+	tpids := make([]uint64, 0, len(terms))
+	for pid := range terms {
+		if _, ok := emitted[pid]; !ok {
+			tpids = append(tpids, pid)
+		}
+	}
+	sort.Slice(tpids, func(i, j int) bool { return tpids[i] < tpids[j] })
+	for _, pid := range tpids {
+		vs = append(vs, Violation{VioProbeUnknownPID,
+			fmt.Sprintf("pid=%d terminated but never emitted", pid)})
+	}
+	// Conservation: the only legitimate way a probe vanishes without a
+	// dropped/returned record or child probes is dying on the wire.
+	if unresolved != netdropProbes {
+		vs = append(vs, Violation{VioProbeConservation,
+			fmt.Sprintf("%d probes unresolved but %d bcp.probe net drops", unresolved, netdropProbes)})
+	}
+
+	// Composition lifecycle.
+	doneSeen := make(map[uint64]bool)
+	for _, ev := range dones {
+		st, ok := starts[ev.Req]
+		switch {
+		case !ok:
+			vs = append(vs, Violation{VioDoneWithoutStart,
+				fmt.Sprintf("compose.done req=%d at t=%v without compose.start", ev.Req, ev.TS)})
+		case ev.TS < st.TS:
+			vs = append(vs, Violation{VioDoneBeforeStart,
+				fmt.Sprintf("compose.done req=%d at t=%v precedes compose.start at t=%v", ev.Req, ev.TS, st.TS)})
+		}
+		if doneSeen[ev.Req] {
+			vs = append(vs, Violation{VioMultipleDone,
+				fmt.Sprintf("compose.done req=%d emitted more than once", ev.Req)})
+		}
+		doneSeen[ev.Req] = true
+	}
+
+	// Sessions admit before they establish.
+	for _, ev := range estabs {
+		t, ok := admitMin[ev.Req]
+		if !ok {
+			vs = append(vs, Violation{VioEstabWithoutAdmit,
+				fmt.Sprintf("session.establish req=%d at t=%v with no session.admit", ev.Req, ev.TS)})
+		} else if t > ev.TS {
+			vs = append(vs, Violation{VioEstabWithoutAdmit,
+				fmt.Sprintf("session.establish req=%d at t=%v precedes first session.admit at t=%v", ev.Req, ev.TS, t)})
+		}
+	}
+
+	return vs
+}
+
+// CheckTotals verifies that registry counter totals match the event counts
+// derivable from the same run's trace — the cross-consistency gate between
+// the two telemetry paths. Only counters whose producers are mirrored by a
+// trace emission are compared (message/byte counters have no per-event
+// trace records and are skipped).
+func CheckTotals(events []Event, tot Counters) []Violation {
+	var sent, dropped, returned, budget, dhtHops, netDrops int64
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindProbeSent, KindProbeForwarded:
+			sent++
+			budget += int64(ev.Budget)
+		case KindProbeDropped:
+			dropped++
+		case KindProbeReturned:
+			returned++
+		case KindDHTHop:
+			dhtHops++
+		case KindNetDrop:
+			netDrops++
+		}
+	}
+	var vs []Violation
+	mismatch := func(what string, reg, trace int64) {
+		if reg != trace {
+			vs = append(vs, Violation{VioCounterMismatch,
+				fmt.Sprintf("%s: registry=%d trace=%d", what, reg, trace)})
+		}
+	}
+	mismatch("probes sent", tot.ProbesSent, sent)
+	mismatch("probes dropped", tot.ProbesDropped, dropped)
+	mismatch("probes returned", tot.ProbesReturned, returned)
+	mismatch("probe budget spent", tot.BudgetSpent, budget)
+	mismatch("dht hops", tot.DHTHops, dhtHops)
+	mismatch("messages dropped", tot.MsgsDrop, netDrops)
+	return vs
+}

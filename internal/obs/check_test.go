@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// cleanTrace is a minimal invariant-respecting trace: a composition with
+// two root probes — one is consumed by splitting into two children (one
+// child dies on a QoS check, the other is lost on the wire, matched by a
+// net.drop record), the other root completes and returns.
+func cleanTrace() []Event {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []Event{
+		ComposeStart(0, 3, 42, 3, 20),
+		ProbeSent(ms(1), 3, 42, 7, "fn1", "p7/fn1.0", 10, 0, 101, 0),
+		ProbeSent(ms(1), 3, 42, 6, "fn1", "p6/fn1.2", 10, 0, 104, 0),
+		ProbeSent(ms(2), 7, 42, 9, "fn2", "p9/fn2.1", 5, 1, 102, 101),
+		ProbeSent(ms(2), 7, 42, 8, "fn2", "p8/fn2.0", 5, 1, 103, 101),
+		NetDrop(ms(3), 7, 8, "bcp.probe", 192),
+		ProbeDropped(ms(4), 9, 42, "fn2", "p9/fn2.1", "qos", 2, 102),
+		ProbeReturned(ms(5), 6, 42, 1, 1, 256, 104),
+		SessionAdmit(ms(6), 9, 42, "p9/fn2.1"),
+		SessionEstablish(ms(7), 3, 42, 2),
+		ComposeDone(ms(8), 3, 42, true, ms(8)),
+		DHTHop(ms(9), 2, 5, 1, "get"),
+	}
+}
+
+func hasViolation(vs []Violation, name string) bool {
+	for _, v := range vs {
+		if v.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckCleanTrace(t *testing.T) {
+	if vs := Check(cleanTrace()); len(vs) != 0 {
+		t.Fatalf("clean trace flagged: %v", vs)
+	}
+}
+
+func TestCheckNamedViolations(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name    string
+		corrupt func([]Event) []Event
+		want    string
+	}{
+		{"leaked probe", func(evs []Event) []Event {
+			// Remove the child's drop record: pid 102 never terminates and
+			// no extra wire drop accounts for it.
+			out := evs[:0:0]
+			for _, ev := range evs {
+				if ev.Kind == KindProbeDropped && ev.PID == 102 {
+					continue
+				}
+				out = append(out, ev)
+			}
+			return out
+		}, VioProbeConservation},
+		{"budget grows on split", func(evs []Event) []Event {
+			out := append([]Event(nil), evs...)
+			for i := range out {
+				if out[i].PID == 102 && out[i].Kind == KindProbeForwarded {
+					out[i].Budget = 15 // parent only carried 10
+				}
+			}
+			return out
+		}, VioBudgetExceeded},
+		{"origin exceeds request budget", func(evs []Event) []Event {
+			out := append([]Event(nil), evs...)
+			for i := range out {
+				if out[i].PID == 101 && out[i].Kind == KindProbeSent {
+					out[i].Budget = 25 // request announced 20
+				}
+			}
+			return out
+		}, VioBudgetExceeded},
+		{"establish without admit", func(evs []Event) []Event {
+			out := evs[:0:0]
+			for _, ev := range evs {
+				if ev.Kind == KindSessionAdmit {
+					continue
+				}
+				out = append(out, ev)
+			}
+			return out
+		}, VioEstabWithoutAdmit},
+		{"establish before admit", func(evs []Event) []Event {
+			out := append([]Event(nil), evs...)
+			for i := range out {
+				if out[i].Kind == KindSessionEstab {
+					out[i].TS = ms(1)
+				}
+			}
+			return out
+		}, VioEstabWithoutAdmit},
+		{"done without start", func(evs []Event) []Event {
+			return append(append([]Event(nil), evs...), ComposeDone(ms(9), 4, 77, false, 0))
+		}, VioDoneWithoutStart},
+		{"done before start", func(evs []Event) []Event {
+			out := append([]Event(nil), evs...)
+			for i := range out {
+				if out[i].Kind == KindComposeStart {
+					out[i].TS = ms(10)
+				}
+			}
+			return out
+		}, VioDoneBeforeStart},
+		{"double done", func(evs []Event) []Event {
+			return append(append([]Event(nil), evs...), ComposeDone(ms(9), 3, 42, true, ms(9)))
+		}, VioMultipleDone},
+		{"double termination", func(evs []Event) []Event {
+			return append(append([]Event(nil), evs...), ProbeReturned(ms(9), 6, 42, 1, 1, 256, 104))
+		}, VioProbeDoubleTerm},
+		{"termination of unknown probe", func(evs []Event) []Event {
+			return append(append([]Event(nil), evs...), ProbeReturned(ms(9), 9, 42, 1, 2, 256, 999))
+		}, VioProbeUnknownPID},
+		{"split from unknown parent", func(evs []Event) []Event {
+			out := append([]Event(nil), evs...)
+			for i := range out {
+				if out[i].PID == 102 && out[i].Kind == KindProbeForwarded {
+					out[i].PPID = 888
+				}
+			}
+			return out
+		}, VioProbeUnknownPID},
+		{"emission without pid", func(evs []Event) []Event {
+			out := append([]Event(nil), evs...)
+			for i := range out {
+				if out[i].PID == 101 && out[i].Kind == KindProbeSent {
+					out[i].PID = 0
+				}
+			}
+			return out
+		}, VioProbeMissingPID},
+		{"duplicate pid", func(evs []Event) []Event {
+			return append(append([]Event(nil), evs...),
+				ProbeSent(ms(9), 3, 42, 7, "fn1", "p7/fn1.0", 10, 0, 101, 0))
+		}, VioProbeDuplicatePID},
+	}
+	for _, tc := range cases {
+		vs := Check(tc.corrupt(cleanTrace()))
+		if !hasViolation(vs, tc.want) {
+			t.Errorf("%s: want violation %q, got %v", tc.name, tc.want, vs)
+		}
+	}
+}
+
+func TestCheckTotals(t *testing.T) {
+	evs := cleanTrace()
+	good := Counters{
+		ProbesSent:     4,
+		ProbesDropped:  1,
+		ProbesReturned: 1,
+		BudgetSpent:    30, // 10 + 10 + 5 + 5
+		DHTHops:        1,
+		MsgsDrop:       1,
+		// Not trace-derivable; arbitrary values must not trip the check.
+		MsgsSent: 123, BytesSent: 456, MsgsRecv: 99,
+	}
+	if vs := CheckTotals(evs, good); len(vs) != 0 {
+		t.Fatalf("consistent totals flagged: %v", vs)
+	}
+	bad := good
+	bad.ProbesSent = 7
+	bad.BudgetSpent = 1
+	vs := CheckTotals(evs, bad)
+	if !hasViolation(vs, VioCounterMismatch) || len(vs) != 2 {
+		t.Fatalf("want 2 counter mismatches, got %v", vs)
+	}
+}

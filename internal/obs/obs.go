@@ -67,6 +67,12 @@ type Event struct {
 	Node p2p.NodeID `json:"node"`
 	// Req is the request/session identifier the event belongs to.
 	Req uint64 `json:"req,omitempty"`
+	// PID identifies one probe instance (unique per run, deterministic per
+	// seed); PPID is the probe it was split from, 0 at the origin. Probe
+	// lifecycle events carry them so a trace checker can account for every
+	// probe exactly.
+	PID  uint64 `json:"pid,omitempty"`
+	PPID uint64 `json:"ppid,omitempty"`
 	// Peer is the other endpoint (next hop, probe target, ...), NoNode if
 	// not applicable.
 	Peer p2p.NodeID `json:"peer,omitempty"`
@@ -125,27 +131,29 @@ func ComposeDone(ts time.Duration, node p2p.NodeID, req uint64, ok bool, setup t
 }
 
 // ProbeSent records a probe leaving its source toward component comp on
-// peer to. ProbeForwarded is the same shape for intermediate hops.
-func ProbeSent(ts time.Duration, node p2p.NodeID, req uint64, to p2p.NodeID, fn, comp string, budget, hops int) Event {
+// peer to. ProbeForwarded is the same shape for intermediate hops. pid is
+// the new probe's identity, ppid the probe it was split from (0 at the
+// origin).
+func ProbeSent(ts time.Duration, node p2p.NodeID, req uint64, to p2p.NodeID, fn, comp string, budget, hops int, pid, ppid uint64) Event {
 	kind := KindProbeSent
 	if hops > 0 {
 		kind = KindProbeForwarded
 	}
-	return Event{TS: ts, Kind: kind, Node: node, Req: req, Peer: to,
+	return Event{TS: ts, Kind: kind, Node: node, Req: req, PID: pid, PPID: ppid, Peer: to,
 		Fn: fn, Comp: comp, Budget: budget, Hops: hops}
 }
 
 // ProbeDropped records a probe dying at node with a reason
 // ("stale-component", "ingress-link", "qos", "resources", "egress-link",
-// "discovery").
-func ProbeDropped(ts time.Duration, node p2p.NodeID, req uint64, fn, comp, reason string, hops int) Event {
-	return Event{TS: ts, Kind: KindProbeDropped, Node: node, Req: req, Peer: p2p.NoNode,
+// "discovery", "no-candidate").
+func ProbeDropped(ts time.Duration, node p2p.NodeID, req uint64, fn, comp, reason string, hops int, pid uint64) Event {
+	return Event{TS: ts, Kind: KindProbeDropped, Node: node, Req: req, PID: pid, Peer: p2p.NoNode,
 		Fn: fn, Comp: comp, Hops: hops, Note: reason}
 }
 
 // ProbeReturned records a completed probe reporting to the destination.
-func ProbeReturned(ts time.Duration, node p2p.NodeID, req uint64, dest p2p.NodeID, hops, bytes int) Event {
-	return Event{TS: ts, Kind: KindProbeReturned, Node: node, Req: req, Peer: dest,
+func ProbeReturned(ts time.Duration, node p2p.NodeID, req uint64, dest p2p.NodeID, hops, bytes int, pid uint64) Event {
+	return Event{TS: ts, Kind: KindProbeReturned, Node: node, Req: req, PID: pid, Peer: dest,
 		Hops: hops, Bytes: bytes}
 }
 

@@ -12,10 +12,10 @@ import (
 func sampleEvents() []Event {
 	return []Event{
 		ComposeStart(0, 3, 42, 3, 20),
-		ProbeSent(time.Millisecond, 3, 42, 7, "fn1", "p7/fn1.0", 10, 0),
-		ProbeSent(2*time.Millisecond, 7, 42, 9, "fn2", "p9/fn2.1", 5, 1),
-		ProbeDropped(3*time.Millisecond, 9, 42, "fn2", "p9/fn2.1", "qos", 2),
-		ProbeReturned(4*time.Millisecond, 9, 42, 1, 2, 256),
+		ProbeSent(time.Millisecond, 3, 42, 7, "fn1", "p7/fn1.0", 10, 0, 101, 0),
+		ProbeSent(2*time.Millisecond, 7, 42, 9, "fn2", "p9/fn2.1", 5, 1, 102, 101),
+		ProbeDropped(3*time.Millisecond, 9, 42, "fn2", "p9/fn2.1", "qos", 2, 102),
+		ProbeReturned(4*time.Millisecond, 9, 42, 1, 2, 256, 103),
 		ProbeCollected(5*time.Millisecond, 1, 42, 9, 2),
 		SelectDone(6*time.Millisecond, 1, 42, 4, 2),
 		SessionAdmit(7*time.Millisecond, 9, 42, "p9/fn2.1"),
@@ -112,12 +112,12 @@ func TestMemSinkAndMultiTracer(t *testing.T) {
 func TestRegistryRollup(t *testing.T) {
 	r := NewRegistry()
 	c3 := r.Node(3)
-	c3.MsgsSent = 10
-	c3.BytesSent = 1000
-	c3.ProbesSent = 4
+	c3.MsgsSent.Store(10)
+	c3.BytesSent.Store(1000)
+	c3.ProbesSent.Store(4)
 	c5 := r.Node(5)
-	c5.MsgsSent = 7
-	c5.DHTHops = 2
+	c5.MsgsSent.Store(7)
+	c5.DHTHops.Store(2)
 	if r.Node(3) != c3 {
 		t.Fatal("Node must return a stable pointer")
 	}
@@ -173,7 +173,7 @@ func TestSummarize(t *testing.T) {
 // emission into a JSONL sink should not allocate.
 func BenchmarkJSONLEmit(b *testing.B) {
 	sink := NewJSONLSink(discard{})
-	ev := ProbeSent(time.Millisecond, 3, 42, 7, "fn1", "p7/fn1.0", 10, 2)
+	ev := ProbeSent(time.Millisecond, 3, 42, 7, "fn1", "p7/fn1.0", 10, 2, 12345, 12344)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -3,32 +3,66 @@ package obs
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/p2p"
 )
 
 // NodeCounters is one peer's monotonically increasing overhead counters.
-// Producers cache the pointer once (at wiring time) and bump plain fields:
-// each node's protocol code is single-threaded in both runtimes, so no
-// atomics are needed on the hot path. Read them only after the run (or from
-// the owning node's event context).
+// Producers cache the pointer once (at wiring time) and bump fields with
+// Add(1). The fields are atomic so the admin endpoint (and any other
+// observer) can snapshot counters while the live runtimes are moving them
+// from many goroutines; in the single-threaded simulator the atomic add is
+// uncontended and costs a few nanoseconds on runs that opted into counters.
 type NodeCounters struct {
-	MsgsSent  int64 // messages this node put on the wire
-	BytesSent int64 // approximate wire bytes sent
-	MsgsRecv  int64 // messages delivered to this node
-	MsgsDrop  int64 // messages this node sent that were dropped
+	MsgsSent  atomic.Int64 // messages this node put on the wire
+	BytesSent atomic.Int64 // approximate wire bytes sent
+	MsgsRecv  atomic.Int64 // messages delivered to this node
+	MsgsDrop  atomic.Int64 // messages this node sent that were dropped
 
-	ProbesSent     int64 // BCP probes emitted (origin + forwards)
-	ProbesDropped  int64 // probes this node killed (QoS/resources/links)
-	ProbesReturned int64 // completed probes reported to a destination
-	BudgetSpent    int64 // probing budget carried by emitted probes
+	ProbesSent     atomic.Int64 // BCP probes emitted (origin + forwards)
+	ProbesDropped  atomic.Int64 // probes this node killed (QoS/resources/links)
+	ProbesReturned atomic.Int64 // completed probes reported to a destination
+	BudgetSpent    atomic.Int64 // probing budget carried by emitted probes
 
-	DHTHops int64 // DHT messages this node forwarded
+	DHTHops atomic.Int64 // DHT messages this node forwarded
 }
 
-// add accumulates o into c.
-func (c *NodeCounters) add(o *NodeCounters) {
+// Snapshot reads every counter once and returns a plain copyable value.
+func (c *NodeCounters) Snapshot() Counters {
+	return Counters{
+		MsgsSent:       c.MsgsSent.Load(),
+		BytesSent:      c.BytesSent.Load(),
+		MsgsRecv:       c.MsgsRecv.Load(),
+		MsgsDrop:       c.MsgsDrop.Load(),
+		ProbesSent:     c.ProbesSent.Load(),
+		ProbesDropped:  c.ProbesDropped.Load(),
+		ProbesReturned: c.ProbesReturned.Load(),
+		BudgetSpent:    c.BudgetSpent.Load(),
+		DHTHops:        c.DHTHops.Load(),
+	}
+}
+
+// Counters is a plain snapshot of a NodeCounters block (or a sum of them).
+// NodeCounters itself must not be copied — its atomic fields pin it in
+// place — so aggregation and rendering work on this value type.
+type Counters struct {
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	MsgsDrop  int64
+
+	ProbesSent     int64
+	ProbesDropped  int64
+	ProbesReturned int64
+	BudgetSpent    int64
+
+	DHTHops int64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
 	c.MsgsSent += o.MsgsSent
 	c.BytesSent += o.BytesSent
 	c.MsgsRecv += o.MsgsRecv
@@ -74,15 +108,34 @@ func (r *Registry) NumNodes() int {
 	return len(r.nodes)
 }
 
-// Totals sums every node's counters.
-func (r *Registry) Totals() NodeCounters {
+// Totals sums a snapshot of every node's counters.
+func (r *Registry) Totals() Counters {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var t NodeCounters
+	var t Counters
 	for _, c := range r.nodes {
-		t.add(c)
+		t.Add(c.Snapshot())
 	}
 	return t
+}
+
+// NodeSnapshot pairs a node ID with a point-in-time counter snapshot.
+type NodeSnapshot struct {
+	ID p2p.NodeID
+	Counters
+}
+
+// Snapshot returns every node's counters, sorted by node ID, so renderers
+// (the admin endpoint, JSON dumps) are deterministic.
+func (r *Registry) Snapshot() []NodeSnapshot {
+	r.mu.Lock()
+	out := make([]NodeSnapshot, 0, len(r.nodes))
+	for id, c := range r.nodes {
+		out = append(out, NodeSnapshot{ID: id, Counters: c.Snapshot()})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Table rolls the registry up into a rendered metrics table: one row per
@@ -109,11 +162,11 @@ func (r *Registry) PerNodeTable(title string, top int) *metrics.Table {
 	r.mu.Lock()
 	type row struct {
 		id p2p.NodeID
-		c  NodeCounters
+		c  Counters
 	}
 	rows := make([]row, 0, len(r.nodes))
 	for id, c := range r.nodes {
-		rows = append(rows, row{id, *c})
+		rows = append(rows, row{id, c.Snapshot()})
 	}
 	r.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool {

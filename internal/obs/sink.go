@@ -66,6 +66,14 @@ func appendEvent(b []byte, ev Event) []byte {
 		b = append(b, `,"req":`...)
 		b = strconv.AppendUint(b, ev.Req, 10)
 	}
+	if ev.PID != 0 {
+		b = append(b, `,"pid":`...)
+		b = strconv.AppendUint(b, ev.PID, 10)
+	}
+	if ev.PPID != 0 {
+		b = append(b, `,"ppid":`...)
+		b = strconv.AppendUint(b, ev.PPID, 10)
+	}
 	if ev.Peer != p2p.NoNode {
 		b = append(b, `,"peer":`...)
 		b = strconv.AppendInt(b, int64(ev.Peer), 10)

@@ -354,6 +354,9 @@ func (m *Manager) allocIngress(s *Session) {
 
 func (m *Manager) kill(s *Session) {
 	s.alive = false
+	if m.Met != nil {
+		m.Met.ActiveSessions.Add(-1)
+	}
 	m.record(s, EventDead)
 	m.eng.Teardown(s.Active)
 	delete(m.sessions, s.ID)
@@ -365,6 +368,9 @@ func (m *Manager) record(s *Session, kind EventKind) {
 	case EventSwitchover:
 		m.stats.Switchovers++
 		ev.RecoveryTime = m.host.Now() - s.brokenAt
+		if m.Met != nil {
+			m.Met.Switchover.ObserveDuration(ev.RecoveryTime)
+		}
 	case EventReactive:
 		ev.RecoveryTime = m.host.Now() - s.brokenAt
 	case EventDead:

@@ -167,6 +167,10 @@ type Manager struct {
 	// Trace receives recovery lifecycle events when non-nil.
 	Trace obs.Tracer
 
+	// Met, when non-nil, observes the switchover-duration histogram and the
+	// active-sessions gauge of the online metrics plane.
+	Met *obs.Metrics
+
 	sessions map[uint64]*Session
 	stats    Stats
 	events   []Event
@@ -270,6 +274,9 @@ func (m *Manager) Establish(req *service.Request, res bcp.Result) *Session {
 	if m.Trace != nil {
 		m.Trace.Emit(obs.SessionEstablish(m.host.Now(), m.host.ID(), s.ID, len(s.Backups)))
 	}
+	if m.Met != nil {
+		m.Met.ActiveSessions.Add(1)
+	}
 	if m.probeTimer == nil {
 		m.scheduleProbes()
 	}
@@ -289,6 +296,9 @@ func (m *Manager) Close(id uint64) {
 		for _, comp := range s.Active.Components() {
 			m.Trust.RecordSuccess(comp.Peer)
 		}
+	}
+	if m.Met != nil {
+		m.Met.ActiveSessions.Add(-1)
 	}
 	m.eng.Teardown(s.Active)
 	delete(m.sessions, id)

@@ -34,6 +34,7 @@ type Network struct {
 	stats   Stats
 	trace   obs.Tracer
 	obsReg  *obs.Registry
+	met     *obs.Metrics
 }
 
 // NewNetwork creates a network whose message delays come from latency and
@@ -60,10 +61,12 @@ func (nw *Network) Sim() *Sim { return nw.sim }
 
 // SetObs attaches the observability subsystem: trace (may be nil) receives
 // network-level events, reg (may be nil) accumulates per-node message and
-// byte counters. Call before AddNode so nodes cache their counter blocks.
-func (nw *Network) SetObs(trace obs.Tracer, reg *obs.Registry) {
+// byte counters, met (may be nil) observes wire-level histograms. Call
+// before AddNode so nodes cache their counter blocks.
+func (nw *Network) SetObs(trace obs.Tracer, reg *obs.Registry, met *obs.Metrics) {
 	nw.trace = trace
 	nw.obsReg = reg
+	nw.met = met
 	for id, n := range nw.nodes {
 		if reg != nil && n.ctr == nil {
 			n.ctr = reg.Node(id)
@@ -140,6 +143,9 @@ func (nw *Network) send(msg p2p.Message) {
 	nw.stats.MessagesSent++
 	nw.stats.BytesSent += int64(msg.Size)
 	nw.stats.ByType[msg.Type]++
+	if nw.met != nil {
+		nw.met.WireBytes.Observe(float64(msg.Size))
+	}
 	d := nw.latency(msg.From, msg.To)
 	nw.sim.Schedule(d, func() { nw.deliver(msg) })
 }
@@ -149,7 +155,7 @@ func (nw *Network) deliver(msg p2p.Message) {
 	if !ok || !dst.alive {
 		nw.stats.Dropped++
 		if src, live := nw.nodes[msg.From]; live && src.ctr != nil {
-			src.ctr.MsgsDrop++
+			src.ctr.MsgsDrop.Add(1)
 		}
 		if nw.trace != nil {
 			nw.trace.Emit(obs.NetDrop(nw.sim.Now(), msg.From, msg.To, msg.Type, msg.Size))
@@ -163,7 +169,7 @@ func (nw *Network) deliver(msg p2p.Message) {
 	}
 	nw.stats.Delivered++
 	if dst.ctr != nil {
-		dst.ctr.MsgsRecv++
+		dst.ctr.MsgsRecv.Add(1)
 	}
 	h(dst, msg)
 }
@@ -191,8 +197,8 @@ func (n *simNode) Send(msg p2p.Message) {
 	}
 	msg.From = n.id
 	if n.ctr != nil {
-		n.ctr.MsgsSent++
-		n.ctr.BytesSent += int64(msg.Size)
+		n.ctr.MsgsSent.Add(1)
+		n.ctr.BytesSent.Add(int64(msg.Size))
 	}
 	n.net.send(msg)
 }

@@ -15,4 +15,23 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Trace gate: the same seed must produce byte-identical JSONL traces, the
+# traces must satisfy the protocol invariants (spidersim -check), and the
+# gzip trace path must round-trip to the same events.
+echo "== trace determinism + invariant gate"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/spidersim" ./cmd/spidersim
+"$tmp/spidersim" -seed 7 -ipnodes 600 -peers 80 -requests 30 -duration 3m \
+    -trace "$tmp/a.jsonl" > /dev/null
+"$tmp/spidersim" -seed 7 -ipnodes 600 -peers 80 -requests 30 -duration 3m \
+    -trace "$tmp/b.jsonl" > /dev/null
+cmp "$tmp/a.jsonl" "$tmp/b.jsonl"
+"$tmp/spidersim" -seed 7 -ipnodes 600 -peers 80 -requests 30 -duration 3m \
+    -trace "$tmp/c.jsonl.gz" > /dev/null
+gunzip -c "$tmp/c.jsonl.gz" | cmp - "$tmp/a.jsonl"
+"$tmp/spidersim" -check "$tmp/a.jsonl" "$tmp/c.jsonl.gz"
+"$tmp/spidersim" -seed 7 -ipnodes 600 -peers 80 -requests 30 -duration 3m \
+    -check > /dev/null
+
 echo "== ci ok"

@@ -44,6 +44,7 @@ import (
 	"repro/internal/fgraph"
 	"repro/internal/livenet"
 	"repro/internal/media"
+	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/recovery"
 	"repro/internal/service"
@@ -72,7 +73,23 @@ type (
 	RecoveryEvent = recovery.Event
 	// RecoveryStats aggregates recovery counters.
 	RecoveryStats = recovery.Stats
+	// Tracer receives structured protocol events (see internal/obs).
+	Tracer = obs.Tracer
+	// TraceEvent is one structured protocol event.
+	TraceEvent = obs.Event
+	// CounterRegistry collects per-node overhead counters.
+	CounterRegistry = obs.Registry
+	// Metrics is the online histogram/gauge metric set.
+	Metrics = obs.Metrics
 )
+
+// NewCounterRegistry creates an empty per-node counter registry to attach
+// via SimOptions.Counters or LiveOptions.Counters.
+func NewCounterRegistry() *CounterRegistry { return obs.NewRegistry() }
+
+// NewMetrics creates the standard histogram/gauge metric set to attach via
+// SimOptions.Metrics or LiveOptions.Metrics.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
 
 // MediaFunctions lists the six multimedia functions of the paper's
 // prototype, available in every deployment that uses the media catalogue.
@@ -85,6 +102,10 @@ type SimOptions struct {
 	Peers    int      // overlay peers (default 60)
 	Catalog  []string // function catalogue (default fn0..fn19; use MediaFunctions() for the media set)
 	Recovery bool     // attach proactive failure recovery to every peer
+
+	Trace    Tracer           // optional structured event sink
+	Counters *CounterRegistry // optional per-node overhead counters
+	Metrics  *Metrics         // optional histogram/gauge metric set
 }
 
 // Sim is a simulated SpiderNet deployment on a virtual clock.
@@ -106,6 +127,9 @@ func NewSim(opts SimOptions) *Sim {
 		Peers:    opts.Peers,
 		Catalog:  opts.Catalog,
 		Recovery: rec,
+		Trace:    opts.Trace,
+		Obs:      opts.Counters,
+		Metrics:  opts.Metrics,
 	})}
 }
 
@@ -220,6 +244,10 @@ type LiveOptions struct {
 	Hosts   int     // default 102
 	Seed    int64   // default 1
 	Speedup float64 // compress wide-area latencies/timers; default 1 (real time)
+
+	Trace    Tracer           // optional structured event sink (live traces are not byte-reproducible)
+	Counters *CounterRegistry // optional per-node overhead counters
+	Metrics  *Metrics         // optional histogram/gauge metric set
 }
 
 // Live is a live wide-area deployment (the PlanetLab stand-in). Close it
@@ -234,6 +262,9 @@ func NewLive(opts LiveOptions) *Live {
 		Hosts:   opts.Hosts,
 		Seed:    opts.Seed,
 		Speedup: opts.Speedup,
+		Trace:   opts.Trace,
+		Obs:     opts.Counters,
+		Metrics: opts.Metrics,
 	})}
 }
 
