@@ -23,6 +23,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/simnet"
 )
 
 func main() {
@@ -34,7 +35,18 @@ func main() {
 	benchDir := flag.String("benchdir", ".", "directory for the BENCH_<timestamp>.json output")
 	traceFile := flag.String("trace", "", "write a deterministic JSONL event trace of the simulated figures to this file")
 	stats := flag.Bool("stats", false, "print per-layer counter tables after the figures")
+	faults := flag.String("faults", "", "fault spec layered onto figures 9 and 10, e.g. loss=0.05,jitter=20ms,partition=10s@30s")
 	flag.Parse()
+
+	var fspec *simnet.FaultSpec
+	if *faults != "" {
+		var err error
+		fspec, err = simnet.ParseFaultSpec(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	if *bench {
 		if err := runBench(*benchDir); err != nil {
@@ -118,6 +130,7 @@ func main() {
 			cfg.Seed = *seed
 			cfg.Trace = trace
 			cfg.Counters = reg
+			cfg.Faults = fspec
 			res := experiment.Fig9(cfg)
 			res.Table.Render(os.Stdout)
 			writeCSV("fig9", res.Table)
@@ -133,6 +146,9 @@ func main() {
 				cfg = experiment.PaperFig10Config()
 			}
 			cfg.Seed = *seed
+			if fspec != nil {
+				cfg.Loss = fspec.Loss // live wire supports uniform loss only
+			}
 			res := experiment.Fig10(cfg)
 			res.Table.Render(os.Stdout)
 			writeCSV("fig10", res.Table)

@@ -23,7 +23,9 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/p2p"
 	"repro/internal/recovery"
+	"repro/internal/simnet"
 	"repro/internal/spec"
 	"repro/internal/workload"
 )
@@ -49,6 +51,7 @@ func run() error {
 		duration  = flag.Duration("duration", 5*time.Minute, "simulated duration")
 		dagProb   = flag.Float64("dag", 0.2, "probability of DAG-shaped requests")
 		commute   = flag.Float64("commute", 0.2, "probability of commutation links")
+		faults    = flag.String("faults", "", "fault spec, e.g. loss=0.05,dup=0.01,jitter=20ms,partition=10s@30s,seed=3")
 		specFile  = flag.String("spec", "", "compose a single request from a QoSTalk-style XML spec file")
 		traceFile = flag.String("trace", "", "write a deterministic JSONL event trace to this file (.gz compresses)")
 		stats     = flag.Bool("stats", false, "print per-layer counter tables, histograms, and a trace summary")
@@ -67,6 +70,15 @@ func run() error {
 
 	if *specFile != "" {
 		return composeSpec(*specFile, *seed, *ipNodes, *peers, *functions)
+	}
+
+	var fspec *simnet.FaultSpec
+	if *faults != "" {
+		var err error
+		fspec, err = simnet.ParseFaultSpec(*faults)
+		if err != nil {
+			return err
+		}
 	}
 
 	var (
@@ -102,16 +114,32 @@ func run() error {
 	}
 
 	recCfg := recovery.DefaultConfig()
+	bcpCfg := bcp.DefaultConfig()
+	if fspec != nil {
+		// Protocol hardening for a faulty wire: per-hop probe retransmits
+		// and missed-pong hysteresis against spurious failure detection.
+		bcpCfg.ProbeAckTimeout = 300 * time.Millisecond
+		bcpCfg.ProbeRetries = 2
+		recCfg.MissedPongs = 3
+	}
 	c := cluster.New(cluster.Options{
 		Seed:     *seed,
 		IPNodes:  *ipNodes,
 		Peers:    *peers,
 		Catalog:  catalog(*functions),
+		BCP:      bcpCfg,
 		Recovery: &recCfg,
 		Trace:    trace,
 		Obs:      reg,
 		Metrics:  met,
 	})
+	if fspec != nil {
+		ids := make([]p2p.NodeID, *peers)
+		for i := range ids {
+			ids[i] = p2p.NodeID(i)
+		}
+		c.ApplyFaults(fspec.Plan(ids))
+	}
 	gen := workload.NewGenerator(workload.Config{
 		Catalog:     catalog(*functions),
 		Peers:       *peers,
@@ -126,6 +154,7 @@ func run() error {
 
 	var ok metrics.Ratio
 	var setup, discovery metrics.Sample
+	attempted, completed := 0, 0
 	for i := 0; i < *requests; i++ {
 		req := gen.Next()
 		at := time.Duration(float64(*duration) * c.Rng.Float64() * 0.8)
@@ -133,8 +162,10 @@ func run() error {
 			if at < c.Sim.Now() {
 				return
 			}
+			attempted++
 			p := c.Peers[int(req.Source)]
 			p.Engine.Compose(req, func(res bcp.Result) {
+				completed++
 				ok.Add(res.Ok)
 				if res.Ok {
 					setup.AddDuration(res.SetupTime)
@@ -169,6 +200,7 @@ func run() error {
 	t := metrics.NewTable(fmt.Sprintf("spidersim: %d peers on %d IP nodes, %d requests, budget %d",
 		*peers, *ipNodes, *requests, *budget), "metric", "value")
 	t.AddRow("success ratio", ok.Value())
+	t.AddRow("hung compositions", attempted-completed)
 	t.AddRow("avg setup time", time.Duration(setup.Mean()*float64(time.Millisecond)))
 	t.AddRow("avg discovery time", time.Duration(discovery.Mean()*float64(time.Millisecond)))
 	t.AddRow("messages sent", st.MessagesSent)
@@ -195,6 +227,9 @@ func run() error {
 		s.Table("trace summary").Render(os.Stdout)
 	}
 	if *check {
+		if hung := attempted - completed; hung > 0 {
+			return fmt.Errorf("check: %d of %d compositions never called back (hung sessions)", hung, attempted)
+		}
 		events := mem.Events()
 		vs := obs.Check(events)
 		vs = append(vs, obs.CheckTotals(events, reg.Totals())...)

@@ -96,7 +96,9 @@ var counterSpecs = []counterSpec{
 	{"probes_dropped_total", "BCP probes killed by QoS/resource/link checks.", func(c obs.Counters) int64 { return c.ProbesDropped }},
 	{"probes_returned_total", "BCP probes that completed and reported.", func(c obs.Counters) int64 { return c.ProbesReturned }},
 	{"probe_budget_spent_total", "Probing budget carried by emitted probes.", func(c obs.Counters) int64 { return c.BudgetSpent }},
+	{"probe_retransmits_total", "Per-hop probe retransmits (same PID, no budget).", func(c obs.Counters) int64 { return c.ProbesRetx }},
 	{"dht_hops_total", "DHT messages forwarded.", func(c obs.Counters) int64 { return c.DHTHops }},
+	{"faults_injected_total", "Injected network faults on sent messages.", func(c obs.Counters) int64 { return c.Faults }},
 }
 
 // renderMetrics writes the Prometheus text exposition format (v0.0.4):
@@ -244,8 +246,12 @@ func appendCounters(b []byte, c obs.Counters) []byte {
 	b = strconv.AppendInt(b, c.ProbesReturned, 10)
 	b = append(b, `,"budget_spent":`...)
 	b = strconv.AppendInt(b, c.BudgetSpent, 10)
+	b = append(b, `,"probes_retx":`...)
+	b = strconv.AppendInt(b, c.ProbesRetx, 10)
 	b = append(b, `,"dht_hops":`...)
 	b = strconv.AppendInt(b, c.DHTHops, 10)
+	b = append(b, `,"faults":`...)
+	b = strconv.AppendInt(b, c.Faults, 10)
 	b = append(b, '}')
 	return b
 }

@@ -23,6 +23,7 @@ import (
 const (
 	MsgProbe    = "bcp.probe"
 	MsgReport   = "bcp.report"
+	MsgProbeAck = "bcp.probeack"
 	MsgAck      = "bcp.ack"
 	MsgChosen   = "bcp.chosen"
 	MsgResult   = "bcp.result"
@@ -62,6 +63,14 @@ type Config struct {
 	// outcome; if every probe dies en route no destination collector ever
 	// answers, and this timer converts silence into a failed Result.
 	GiveUpTimeout time.Duration
+	// ProbeAckTimeout, when positive, enables per-hop probe hardening for
+	// lossy networks: each probe/report transmission is acknowledged by the
+	// receiver, and an unacknowledged copy is retransmitted (same UID, no
+	// new budget) after this delay. Zero (the default) disables hardening
+	// entirely, preserving baseline traces byte for byte.
+	ProbeAckTimeout time.Duration
+	// ProbeRetries caps retransmits per transmission when hardening is on.
+	ProbeRetries int
 	// DisableCommutation turns off pattern exploration (ablation).
 	DisableCommutation bool
 	// RandomNextHop replaces the composite next-hop selection metric with a
@@ -167,6 +176,18 @@ type Engine struct {
 	// probeSeq numbers the probes this engine emits, for trace-checkable
 	// probe identities.
 	probeSeq uint64
+
+	// Hardening state (touched only when cfg.ProbeAckTimeout > 0, except
+	// doneReqs, which also guards against duplicated results): retransmit
+	// timers keyed by in-flight message UID, duplicate-suppression sets for
+	// received probe and report copies (two sets, because a leaf that is
+	// also the destination sees the same UID as both), delivered requests,
+	// and processed reverse-path ack positions.
+	retx        map[uint64]*retxState
+	seenProbes  seenSet[uint64]
+	seenReports seenSet[uint64]
+	doneReqs    seenSet[uint64]
+	ackSeen     seenSet[ackKey]
 }
 
 // TrustOracle scores a peer's trustworthiness in [0,1]; 0.5 is neutral.
@@ -227,10 +248,12 @@ func NewEngine(host p2p.Node, ledger *qos.Ledger, reg *registry.Registry, oracle
 		cache:      make(map[string]cacheEntry),
 		hard:       make(map[softKey]qos.Resources),
 		bws:        make(map[allocKey]float64),
+		retx:       make(map[uint64]*retxState),
 		Weights:    service.DefaultWeights(),
 	}
 	host.Handle(MsgProbe, e.onProbe)
 	host.Handle(MsgReport, e.onReport)
+	host.Handle(MsgProbeAck, e.onProbeAck)
 	host.Handle(MsgAck, e.onAck)
 	host.Handle(MsgChosen, e.onChosen)
 	host.Handle(MsgResult, e.onResult)
@@ -427,12 +450,15 @@ func (e *Engine) onResult(_ p2p.Node, msg p2p.Message) {
 	st, ok := e.pending[res.ReqID]
 	if !ok {
 		// The sender already gave up (or never asked): a successfully set-up
-		// session nobody is waiting for must be released.
-		if res.Ok {
+		// session nobody is waiting for must be released. But a duplicated
+		// copy of an already-delivered result must not tear the live
+		// session down.
+		if res.Ok && !e.doneReqs.contains(res.ReqID) {
 			e.Teardown(res.Best)
 		}
 		return
 	}
+	e.doneReqs.seen(res.ReqID)
 	delete(e.pending, res.ReqID)
 	st.giveUp()
 	res.DiscoveryTime = st.discovery

@@ -19,6 +19,7 @@ func RegisterGob() {
 		gob.RegisterName("bcp.failMsg", failMsg{})
 		gob.RegisterName("bcp.teardownMsg", teardownMsg{})
 		gob.RegisterName("bcp.ackMsg", ackMsg{})
+		gob.RegisterName("bcp.probeAckMsg", probeAckMsg{})
 		gob.RegisterName("bcp.chosenMsg", chosenMsg{})
 		gob.RegisterName("service.Component", service.Component{})
 	})

@@ -74,6 +74,13 @@ func (p *Probe) prevFn() int {
 
 // onProbe is the per-hop probe processing of §4.2.
 func (e *Engine) onProbe(_ p2p.Node, msg p2p.Message) {
+	if e.cfg.ProbeAckTimeout > 0 {
+		// Acknowledge every copy — the previous ack may itself have been
+		// lost — then process each probe instance at most once.
+		if e.ackHop(msg, &e.seenProbes) {
+			return
+		}
+	}
 	pr := msg.Payload.(Probe)
 	req := pr.Req
 
@@ -145,7 +152,8 @@ func (e *Engine) onProbe(_ p2p.Node, msg p2p.Message) {
 		if e.Met != nil {
 			e.Met.ProbeHops.Observe(float64(len(pr.Visited)))
 		}
-		e.host.Send(p2p.Message{Type: MsgReport, To: req.Dest, Size: probeSize(pr), Payload: pr})
+		e.sendReliable(p2p.Message{Type: MsgReport, To: req.Dest,
+			Size: probeSize(pr), Payload: pr, UID: pr.UID}, pr.ReqID, pr.UID)
 		return
 	}
 
@@ -289,7 +297,8 @@ func (e *Engine) spawnNext(pr Probe, nextFns []int, prevComp service.Component, 
 			if e.Met != nil {
 				e.Met.ProbeBudget.Observe(float64(newBudget))
 			}
-			e.host.Send(p2p.Message{Type: MsgProbe, To: c.Peer, Size: probeSize(np), Payload: np})
+			e.sendReliable(p2p.Message{Type: MsgProbe, To: c.Peer,
+				Size: probeSize(np), Payload: np, UID: np.UID}, pr.ReqID, np.UID)
 			sent = true
 		}
 	}

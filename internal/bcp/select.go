@@ -20,6 +20,14 @@ type collector struct {
 }
 
 func (e *Engine) onReport(_ p2p.Node, msg p2p.Message) {
+	if e.cfg.ProbeAckTimeout > 0 {
+		// Same ack-then-dedup discipline as onProbe, on a separate seen-set:
+		// when the final hop is the destination itself, the probe and its
+		// report carry the same UID and must not suppress each other.
+		if e.ackHop(msg, &e.seenReports) {
+			return
+		}
+	}
 	pr := msg.Payload.(Probe)
 	col, ok := e.collectors[pr.ReqID]
 	if !ok {
@@ -282,6 +290,11 @@ type ackMsg struct {
 
 func (e *Engine) onAck(_ p2p.Node, msg p2p.Message) {
 	am := msg.Payload.(ackMsg)
+	if e.cfg.ProbeAckTimeout > 0 && e.ackSeen.seen(ackKey{req: am.ReqID, pos: am.Pos}) {
+		// A duplicated ack copy (dup fault) must not re-walk the reverse
+		// path: the cascade would end in a duplicate MsgResult.
+		return
+	}
 	fn := am.Order[am.Pos]
 	snap := am.Best.Comps[fn]
 	req := am.Best.Req

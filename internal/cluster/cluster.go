@@ -378,6 +378,14 @@ func (c *Cluster) FunctionsByReplicas() []string {
 // Oracle returns the data-plane oracle shared by all engines.
 func (c *Cluster) Oracle() bcp.Oracle { return &overlayOracle{ov: c.Overlay} }
 
+// ApplyFaults installs a fault plan on the cluster's network. Partition
+// windows in the plan are interpreted relative to "now" (the plan's From/Until
+// are offsets from the moment of the call), so a plan built once can be
+// applied after the registration warm-up without adjusting for settle time.
+func (c *Cluster) ApplyFaults(plan simnet.FaultPlan) {
+	c.Net.SetFaults(plan.Shift(c.Sim.Now()))
+}
+
 // FailFraction fails the given fraction of peers uniformly at random and
 // returns their IDs.
 func (c *Cluster) FailFraction(frac float64) []p2p.NodeID {

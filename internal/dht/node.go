@@ -110,12 +110,13 @@ type Node struct {
 }
 
 type getReq struct {
-	key     ID
-	cb      func(items []any, hops int, ok bool)
-	cancel  p2p.CancelFunc
-	retried bool
-	timeout time.Duration
-	started time.Duration // host clock at Get, for the lookup histogram
+	key      ID
+	cb       func(items []any, hops int, ok bool)
+	cancel   p2p.CancelFunc
+	retried  bool
+	timeout  time.Duration
+	started  time.Duration // host clock at Get, for the lookup histogram
+	firstHop p2p.NodeID    // route used first; the retry avoids it
 }
 
 // New creates a DHT node on host. alive is the liveness oracle standing in
@@ -218,11 +219,20 @@ func (n *Node) knownEntries(visit func(Entry)) {
 // strictly longer shared prefix than self (longest prefix, then closest);
 // otherwise any entry strictly closer to the key than self. A zero-value
 // return (Addr == NoNode) means self is the root.
-func (n *Node) nextHop(key ID) Entry {
+func (n *Node) nextHop(key ID) Entry { return n.nextHopExcluding(key, p2p.NoNode) }
+
+// nextHopExcluding is nextHop with one transport address struck from the
+// candidate set — the lookup-retry path uses it to route around a first
+// hop that swallowed the previous attempt (e.g. across a partition the
+// liveness oracle cannot see). avoid == NoNode excludes nothing.
+func (n *Node) nextHopExcluding(key ID, avoid p2p.NodeID) Entry {
 	selfPrefix := n.self.ID.CommonPrefix(key)
 	best := Entry{Addr: p2p.NoNode}
 	bestPrefix := -1
 	n.knownEntries(func(e Entry) {
+		if e.Addr == avoid {
+			return
+		}
 		p := e.ID.CommonPrefix(key)
 		if p <= selfPrefix {
 			return
@@ -239,6 +249,9 @@ func (n *Node) nextHop(key ID) Entry {
 	// Requiring both keeps (prefix, distance) lexicographically monotone
 	// along the route, which guarantees termination.
 	n.knownEntries(func(e Entry) {
+		if e.Addr == avoid {
+			return
+		}
 		if e.ID.CommonPrefix(key) >= selfPrefix && Closer(key, e.ID, n.self.ID) {
 			if best.Addr == p2p.NoNode || Closer(key, e.ID, best.ID) {
 				best = e
@@ -249,13 +262,19 @@ func (n *Node) nextHop(key ID) Entry {
 }
 
 func (n *Node) forwardOrDeliver(rm RouteMsg) {
-	next := n.nextHop(rm.Key)
+	n.routeVia(rm, n.nextHop(rm.Key))
+}
+
+// routeVia forwards rm through next, or delivers it locally when next is
+// empty (this node is the root). It returns the hop used, NoNode on local
+// delivery.
+func (n *Node) routeVia(rm RouteMsg, next Entry) p2p.NodeID {
 	if next.Addr == p2p.NoNode {
 		if n.Trace != nil {
 			n.Trace.Emit(obs.DHTDeliver(n.host.Now(), n.self.Addr, rm.Hops, payloadKind(rm)))
 		}
 		n.deliver(rm)
-		return
+		return p2p.NoNode
 	}
 	rm.Hops++
 	if n.Ctr != nil {
@@ -265,6 +284,7 @@ func (n *Node) forwardOrDeliver(rm RouteMsg) {
 		n.Trace.Emit(obs.DHTHop(n.host.Now(), n.self.Addr, next.Addr, rm.Hops, payloadKind(rm)))
 	}
 	n.host.Send(p2p.Message{Type: MsgRoute, To: next.Addr, Size: routeSize + payloadSize(rm), Payload: rm})
+	return next.Addr
 }
 
 func payloadSize(rm RouteMsg) int {
@@ -400,11 +420,19 @@ func (n *Node) Get(key ID, timeout time.Duration, cb func(items []any, hops int,
 	req := &getReq{key: key, cb: cb, timeout: timeout, started: n.host.Now()}
 	n.pending[id] = req
 	req.cancel = n.host.After(timeout, func() { n.getTimeout(id) })
-	n.sendGet(id, key)
+	req.firstHop = n.sendGet(id, key, p2p.NoNode)
 }
 
-func (n *Node) sendGet(reqID uint64, key ID) {
-	n.forwardOrDeliver(RouteMsg{Key: key, Get: &GetPayload{ReqID: reqID, Origin: n.self.Addr}})
+// sendGet routes a get toward key's root, avoiding one first hop (NoNode =
+// unconstrained), and returns the hop actually used. When exclusion leaves
+// no viable route the unexcluded route is used after all: forcing local
+// delivery at a non-root node would fabricate an empty result.
+func (n *Node) sendGet(reqID uint64, key ID, avoid p2p.NodeID) p2p.NodeID {
+	next := n.nextHopExcluding(key, avoid)
+	if next.Addr == p2p.NoNode && avoid != p2p.NoNode {
+		next = n.nextHop(key)
+	}
+	return n.routeVia(RouteMsg{Key: key, Get: &GetPayload{ReqID: reqID, Origin: n.self.Addr}}, next)
 }
 
 func (n *Node) getTimeout(id uint64) {
@@ -418,7 +446,9 @@ func (n *Node) getTimeout(id uint64) {
 			n.Trace.Emit(obs.DHTGetTimeout(n.host.Now(), n.self.Addr, true))
 		}
 		req.cancel = n.host.After(req.timeout, func() { n.getTimeout(id) })
-		n.sendGet(id, req.key)
+		// Retry via a different routing-table entry: the first hop may be
+		// unreachable (partitioned, overloaded) without being seen as dead.
+		n.sendGet(id, req.key, req.firstHop)
 		return
 	}
 	delete(n.pending, id)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/bcp"
 	"repro/internal/fgraph"
 	"repro/internal/livenet"
 	"repro/internal/metrics"
@@ -28,6 +29,9 @@ type Fig10Config struct {
 	MinFuncs, MaxFuncs int
 	// Budget is the probing budget per request.
 	Budget int
+	// Loss, when positive, injects uniform message loss on the live wire
+	// and switches on BCP's per-hop probe retransmits.
+	Loss float64
 }
 
 // DefaultFig10Config returns a configuration that finishes in a few wall
@@ -75,11 +79,20 @@ type Fig10Result struct {
 // draw distinct functions from the six-function media catalogue deployed
 // one-component-per-host, exactly like the paper's prototype (§6.2).
 func Fig10(cfg Fig10Config) Fig10Result {
-	tb := livenet.NewTestbed(livenet.TestbedOptions{
+	tbOpts := livenet.TestbedOptions{
 		Hosts:   cfg.Hosts,
 		Seed:    cfg.Seed,
 		Speedup: cfg.Speedup,
-	})
+		Loss:    cfg.Loss,
+	}
+	if cfg.Loss > 0 {
+		// Timer values are protocol time; the live runtime compresses them
+		// by the speedup like every other timer.
+		tbOpts.BCP = bcp.DefaultConfig()
+		tbOpts.BCP.ProbeAckTimeout = 300 * time.Millisecond
+		tbOpts.BCP.ProbeRetries = 2
+	}
+	tb := livenet.NewTestbed(tbOpts)
 	defer tb.Close()
 
 	rng := newRng(cfg.Seed + 500)

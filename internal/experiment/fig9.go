@@ -9,6 +9,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/recovery"
+	"repro/internal/simnet"
 	"repro/internal/workload"
 )
 
@@ -34,6 +35,10 @@ type Fig9Config struct {
 	RecoverAfter int
 	// Budget is the probing budget for session (re-)composition.
 	Budget int
+	// Faults, when non-nil, layers wire faults (loss/dup/jitter/partition)
+	// on top of the churn in both runs, with the protocol hardening knobs
+	// (probe retransmits, missed-pong hysteresis) switched on.
+	Faults *simnet.FaultSpec
 	// Trace/Counters, when non-nil, are wired into both runs' clusters.
 	Trace    obs.Tracer
 	Counters *obs.Registry
@@ -137,15 +142,29 @@ type fig9Stats struct {
 // fig9Run simulates one protected (or unprotected) session population under
 // churn and returns the timeline of unrecovered failures.
 func fig9Run(cfg Fig9Config, recCfg recovery.Config) (*metrics.Timeline, fig9Stats) {
+	bcpCfg := bcp.DefaultConfig()
+	if cfg.Faults != nil {
+		bcpCfg.ProbeAckTimeout = 300 * time.Millisecond
+		bcpCfg.ProbeRetries = 2
+		recCfg.MissedPongs = 3
+	}
 	c := cluster.New(cluster.Options{
 		Seed:     cfg.Seed,
 		IPNodes:  cfg.IPNodes,
 		Peers:    cfg.Peers,
 		Catalog:  fnCatalog(cfg.Functions),
+		BCP:      bcpCfg,
 		Recovery: &recCfg,
 		Trace:    cfg.Trace,
 		Obs:      cfg.Counters,
 	})
+	if cfg.Faults != nil {
+		ids := make([]p2p.NodeID, cfg.Peers)
+		for i := range ids {
+			ids[i] = pid(i)
+		}
+		c.ApplyFaults(cfg.Faults.Plan(ids))
+	}
 	gen := workload.NewGenerator(workload.Config{
 		Catalog:  fnCatalog(cfg.Functions),
 		Peers:    cfg.Peers,

@@ -22,6 +22,7 @@ type Stats struct {
 	MessagesSent int64
 	BytesSent    int64
 	Dropped      int64
+	Faulted      int64 // killed at send time by injected loss
 }
 
 // Network is a set of live peers exchanging messages with injected
@@ -37,7 +38,12 @@ type Network struct {
 	messages atomic.Int64
 	bytes    atomic.Int64
 	dropped  atomic.Int64
+	faulted  atomic.Int64
 	closed   atomic.Bool
+
+	lossMu  sync.Mutex
+	lossP   float64
+	lossRng *rand.Rand
 
 	trace  obs.Tracer
 	obsReg *obs.Registry
@@ -66,7 +72,28 @@ func (nw *Network) Stats() Stats {
 		MessagesSent: nw.messages.Load(),
 		BytesSent:    nw.bytes.Load(),
 		Dropped:      nw.dropped.Load(),
+		Faulted:      nw.faulted.Load(),
 	}
+}
+
+// SetLoss enables uniform message-loss injection: each send is killed with
+// probability p, drawn from a dedicated seeded stream. The live runtime's
+// goroutine scheduling is nondeterministic, so unlike the simulator the
+// seed only fixes the marginal loss rate, not which messages die. p <= 0
+// disables injection.
+func (nw *Network) SetLoss(p float64, seed int64) {
+	nw.lossMu.Lock()
+	defer nw.lossMu.Unlock()
+	nw.lossP = p
+	nw.lossRng = rand.New(rand.NewSource(seed))
+}
+
+// loseSend decides (under the loss lock — send runs from many goroutines)
+// whether this message is killed by injected loss.
+func (nw *Network) loseSend() bool {
+	nw.lossMu.Lock()
+	defer nw.lossMu.Unlock()
+	return nw.lossP > 0 && nw.lossRng.Float64() < nw.lossP
 }
 
 // SetObs attaches the observability subsystem: trace (may be nil) receives
@@ -197,6 +224,20 @@ func (nw *Network) send(msg p2p.Message) {
 	if nw.met != nil {
 		nw.met.WireBytes.Observe(float64(msg.Size))
 	}
+	if nw.loseSend() {
+		nw.faulted.Add(1)
+		nw.mu.Lock()
+		src := nw.nodes[msg.From]
+		nw.mu.Unlock()
+		if src != nil && src.ctr != nil {
+			src.ctr.Faults.Add(1)
+		}
+		if nw.trace != nil {
+			nw.trace.Emit(obs.NetFault(time.Since(nw.start), msg.From, msg.To,
+				obs.FaultLoss, msg.Type, msg.Size, msg.UID))
+		}
+		return
+	}
 	lat := nw.lat[int(msg.From)][int(msg.To)]
 	d := nw.Scale(time.Duration(lat * float64(time.Millisecond)))
 	time.AfterFunc(d, func() {
@@ -210,7 +251,7 @@ func (nw *Network) send(msg p2p.Message) {
 				src.ctr.MsgsDrop.Add(1)
 			}
 			if nw.trace != nil {
-				nw.trace.Emit(obs.NetDrop(time.Since(nw.start), msg.From, msg.To, msg.Type, msg.Size))
+				nw.trace.Emit(obs.NetDrop(time.Since(nw.start), msg.From, msg.To, msg.Type, msg.Size, msg.UID))
 			}
 			return
 		}

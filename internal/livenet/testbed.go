@@ -30,6 +30,10 @@ type TestbedOptions struct {
 	Speedup float64 // latency/timer compression; default 1 (real time)
 	Catalog []string
 	BCP     bcp.Config
+	// Loss, when positive, kills each message send with this probability
+	// (seeded by Seed, so a fixed-seed run injects a repeatable loss
+	// pattern even though live-runtime timing is not reproducible).
+	Loss float64
 	// Capacity per host (default cpu=20, mem=200).
 	Capacity qos.Resources
 	// Trace, when non-nil, receives structured events from every layer.
@@ -102,6 +106,9 @@ func NewTestbed(opts TestbedOptions) *Testbed {
 	nw := NewNetwork(lat, opts.Speedup)
 	if opts.Trace != nil || opts.Obs != nil || opts.Metrics != nil {
 		nw.SetObs(opts.Trace, opts.Obs, opts.Metrics)
+	}
+	if opts.Loss > 0 {
+		nw.SetLoss(opts.Loss, opts.Seed)
 	}
 	oracle := &flatOracle{lat: lat}
 

@@ -38,9 +38,12 @@ const (
 //     PID and resolves exactly one way: it dies with a probe.dropped
 //     record, completes with a probe.returned record, or is consumed by
 //     splitting into child probes (emissions carrying its PID as their
-//     PPID). The probes that resolve no way at all must be exactly the
-//     ones the network dropped on the wire (net.drop of a bcp.probe
-//     message) — nothing may leak silently;
+//     PPID). Wire-copy accounting is exact per PID: a probe has
+//     1 + retransmits + injected duplications copies on the wire, and a
+//     probe that resolves no way at all must have lost every copy to the
+//     network (net.drop of a bcp.probe message, or an injected loss or
+//     partition net.fault) — while a resolved probe must have had at least
+//     one surviving copy. Nothing may leak silently;
 //   - a child probe's budget never exceeds its parent's (the split of
 //     §4.2 only divides), and origin probes never exceed the request budget
 //     announced in compose.start;
@@ -67,7 +70,12 @@ func Check(events []Event) []Violation {
 	var dones []Event
 	admitMin := make(map[uint64]time.Duration)
 	var estabs []Event
-	netdropProbes := 0
+	// Per-PID wire-copy accounting: a probe starts with one copy at
+	// emission; retransmits and injected duplications add copies; net.drop
+	// and lethal net.fault records (loss, partition) consume them.
+	extraCopies := make(map[uint64]int)
+	wireDrops := make(map[uint64]int)
+	var strayPIDs []uint64 // drop/retx/fault records naming unemitted pids
 
 	for _, ev := range events {
 		switch ev.Kind {
@@ -107,8 +115,41 @@ func Check(events []Event) []Violation {
 			estabs = append(estabs, ev)
 		case KindNetDrop:
 			if ev.Note == "bcp.probe" {
-				netdropProbes++
+				if ev.PID == 0 {
+					vs = append(vs, Violation{VioProbeMissingPID,
+						fmt.Sprintf("net.drop of bcp.probe at t=%v %d->%d has no pid", ev.TS, ev.Node, ev.Peer)})
+					continue
+				}
+				wireDrops[ev.PID]++
+				strayPIDs = append(strayPIDs, ev.PID)
 			}
+		case KindNetFault:
+			if ev.Comp != "bcp.probe" {
+				continue
+			}
+			if ev.PID == 0 {
+				vs = append(vs, Violation{VioProbeMissingPID,
+					fmt.Sprintf("net.fault(%s) of bcp.probe at t=%v %d->%d has no pid", ev.Note, ev.TS, ev.Node, ev.Peer)})
+				continue
+			}
+			switch ev.Note {
+			case FaultLoss, FaultPartition:
+				wireDrops[ev.PID]++
+			case FaultDup:
+				extraCopies[ev.PID]++
+			}
+			strayPIDs = append(strayPIDs, ev.PID)
+		case KindProbeRetx:
+			if ev.Comp != "bcp.probe" {
+				continue
+			}
+			if ev.PID == 0 {
+				vs = append(vs, Violation{VioProbeMissingPID,
+					fmt.Sprintf("probe.retransmit at t=%v node=%d req=%d has no pid", ev.TS, ev.Node, ev.Req)})
+				continue
+			}
+			extraCopies[ev.PID]++
+			strayPIDs = append(strayPIDs, ev.PID)
 		}
 	}
 
@@ -118,17 +159,27 @@ func Check(events []Event) []Violation {
 		pids = append(pids, pid)
 	}
 	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
-	unresolved := 0
 	for _, pid := range pids {
 		em := emitted[pid]
+		copies := 1 + extraCopies[pid]
+		drops := wireDrops[pid]
 		switch n := terms[pid]; {
 		case n == 0:
-			if children[pid] == 0 {
-				unresolved++
+			if children[pid] == 0 && drops != copies {
+				// Exact conservation: an unaccounted probe must have lost
+				// every wire copy — no more, no fewer.
+				vs = append(vs, Violation{VioProbeConservation,
+					fmt.Sprintf("pid=%d (req=%d) unresolved but %d of %d wire copies dropped", pid, em.req, drops, copies)})
 			}
 		case n > 1:
 			vs = append(vs, Violation{VioProbeDoubleTerm,
 				fmt.Sprintf("pid=%d (req=%d) terminated %d times", pid, em.req, n)})
+		}
+		if (terms[pid] > 0 || children[pid] > 0) && drops >= copies {
+			// The probe made progress, so at least one copy must have
+			// survived the wire.
+			vs = append(vs, Violation{VioProbeConservation,
+				fmt.Sprintf("pid=%d (req=%d) resolved but all %d wire copies dropped (%d drops)", pid, em.req, copies, drops)})
 		}
 		if em.ppid != 0 {
 			parent, ok := emitted[em.ppid]
@@ -158,11 +209,17 @@ func Check(events []Event) []Violation {
 		vs = append(vs, Violation{VioProbeUnknownPID,
 			fmt.Sprintf("pid=%d terminated but never emitted", pid)})
 	}
-	// Conservation: the only legitimate way a probe vanishes without a
-	// dropped/returned record or child probes is dying on the wire.
-	if unresolved != netdropProbes {
-		vs = append(vs, Violation{VioProbeConservation,
-			fmt.Sprintf("%d probes unresolved but %d bcp.probe net drops", unresolved, netdropProbes)})
+	// Wire records (drops, faults, retransmits) naming probes that were
+	// never emitted — deduplicated, in pid order.
+	sort.Slice(strayPIDs, func(i, j int) bool { return strayPIDs[i] < strayPIDs[j] })
+	var lastStray uint64
+	for _, pid := range strayPIDs {
+		if _, ok := emitted[pid]; ok || pid == lastStray {
+			continue
+		}
+		lastStray = pid
+		vs = append(vs, Violation{VioProbeUnknownPID,
+			fmt.Sprintf("pid=%d has wire drop/fault/retransmit records but was never emitted", pid)})
 	}
 
 	// Composition lifecycle.
@@ -205,7 +262,7 @@ func Check(events []Event) []Violation {
 // trace emission are compared (message/byte counters have no per-event
 // trace records and are skipped).
 func CheckTotals(events []Event, tot Counters) []Violation {
-	var sent, dropped, returned, budget, dhtHops, netDrops int64
+	var sent, dropped, returned, budget, retx, dhtHops, netDrops, faults int64
 	for _, ev := range events {
 		switch ev.Kind {
 		case KindProbeSent, KindProbeForwarded:
@@ -215,10 +272,14 @@ func CheckTotals(events []Event, tot Counters) []Violation {
 			dropped++
 		case KindProbeReturned:
 			returned++
+		case KindProbeRetx:
+			retx++
 		case KindDHTHop:
 			dhtHops++
 		case KindNetDrop:
 			netDrops++
+		case KindNetFault:
+			faults++
 		}
 	}
 	var vs []Violation
@@ -232,7 +293,9 @@ func CheckTotals(events []Event, tot Counters) []Violation {
 	mismatch("probes dropped", tot.ProbesDropped, dropped)
 	mismatch("probes returned", tot.ProbesReturned, returned)
 	mismatch("probe budget spent", tot.BudgetSpent, budget)
+	mismatch("probe retransmits", tot.ProbesRetx, retx)
 	mismatch("dht hops", tot.DHTHops, dhtHops)
 	mismatch("messages dropped", tot.MsgsDrop, netDrops)
+	mismatch("faults injected", tot.Faults, faults)
 	return vs
 }

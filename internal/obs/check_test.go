@@ -17,7 +17,7 @@ func cleanTrace() []Event {
 		ProbeSent(ms(1), 3, 42, 6, "fn1", "p6/fn1.2", 10, 0, 104, 0),
 		ProbeSent(ms(2), 7, 42, 9, "fn2", "p9/fn2.1", 5, 1, 102, 101),
 		ProbeSent(ms(2), 7, 42, 8, "fn2", "p8/fn2.0", 5, 1, 103, 101),
-		NetDrop(ms(3), 7, 8, "bcp.probe", 192),
+		NetDrop(ms(3), 7, 8, "bcp.probe", 192, 103),
 		ProbeDropped(ms(4), 9, 42, "fn2", "p9/fn2.1", "qos", 2, 102),
 		ProbeReturned(ms(5), 6, 42, 1, 1, 256, 104),
 		SessionAdmit(ms(6), 9, 42, "p9/fn2.1"),
@@ -150,6 +150,110 @@ func TestCheckNamedViolations(t *testing.T) {
 	}
 }
 
+// faultTrace exercises per-copy conservation under injected faults and
+// retransmits: pid 201 is duplicated and loses one copy but returns; pid
+// 202 loses its only copy to injected loss; pid 203 is retransmitted and
+// both copies die on the wire.
+func faultTrace() []Event {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []Event{
+		ComposeStart(0, 3, 43, 3, 20),
+		ProbeSent(ms(1), 3, 43, 7, "fn1", "p7/fn1.0", 6, 0, 201, 0),
+		NetFault(ms(1), 3, 7, FaultDup, "bcp.probe", 128, 201),
+		NetDrop(ms(2), 3, 7, "bcp.probe", 128, 201),
+		ProbeSent(ms(1), 3, 43, 8, "fn1", "p8/fn1.1", 6, 0, 202, 0),
+		NetFault(ms(1), 3, 8, FaultLoss, "bcp.probe", 128, 202),
+		ProbeSent(ms(1), 3, 43, 9, "fn1", "p9/fn1.2", 6, 0, 203, 0),
+		ProbeRetx(ms(3), 3, 43, 9, "bcp.probe", 1, 203),
+		NetFault(ms(1), 3, 9, FaultPartition, "bcp.probe", 128, 203),
+		NetFault(ms(3), 3, 9, FaultPartition, "bcp.probe", 128, 203),
+		ProbeReturned(ms(5), 7, 43, 1, 1, 256, 201),
+		SessionAdmit(ms(6), 7, 43, "p7/fn1.0"),
+		SessionEstablish(ms(7), 3, 43, 1),
+		ComposeDone(ms(8), 3, 43, true, ms(8)),
+	}
+}
+
+func TestCheckFaultTrace(t *testing.T) {
+	if vs := Check(faultTrace()); len(vs) != 0 {
+		t.Fatalf("fault trace flagged: %v", vs)
+	}
+}
+
+func TestCheckFaultViolations(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name    string
+		corrupt func([]Event) []Event
+		want    string
+	}{
+		{"resolved probe with every copy dropped", func(evs []Event) []Event {
+			// pid 201 returned, yet both its copies (original + dup) died.
+			return append(append([]Event(nil), evs...),
+				NetDrop(ms(4), 3, 7, "bcp.probe", 128, 201))
+		}, VioProbeConservation},
+		{"unresolved probe with surviving copy", func(evs []Event) []Event {
+			// Drop pid 202's loss record: its only copy survived, so the
+			// missing termination is a silent leak.
+			out := evs[:0:0]
+			for _, ev := range evs {
+				if ev.Kind == KindNetFault && ev.PID == 202 {
+					continue
+				}
+				out = append(out, ev)
+			}
+			return out
+		}, VioProbeConservation},
+		{"unresolved probe with live retransmit copy", func(evs []Event) []Event {
+			// Drop one of pid 203's partition kills: one of its two copies
+			// survived and must have resolved somewhere.
+			out := append([]Event(nil), evs...)
+			for i, ev := range out {
+				if ev.Kind == KindNetFault && ev.PID == 203 {
+					return append(out[:i], out[i+1:]...)
+				}
+			}
+			return out
+		}, VioProbeConservation},
+		{"retransmit of unknown probe", func(evs []Event) []Event {
+			return append(append([]Event(nil), evs...),
+				ProbeRetx(ms(9), 3, 43, 9, "bcp.probe", 1, 999))
+		}, VioProbeUnknownPID},
+		{"fault on unknown probe", func(evs []Event) []Event {
+			return append(append([]Event(nil), evs...),
+				NetFault(ms(9), 3, 9, FaultLoss, "bcp.probe", 128, 998))
+		}, VioProbeUnknownPID},
+		{"fault without pid", func(evs []Event) []Event {
+			return append(append([]Event(nil), evs...),
+				NetFault(ms(9), 3, 9, FaultLoss, "bcp.probe", 128, 0))
+		}, VioProbeMissingPID},
+		{"retransmit without pid", func(evs []Event) []Event {
+			return append(append([]Event(nil), evs...),
+				ProbeRetx(ms(9), 3, 43, 9, "bcp.probe", 1, 0))
+		}, VioProbeMissingPID},
+	}
+	for _, tc := range cases {
+		vs := Check(tc.corrupt(faultTrace()))
+		if !hasViolation(vs, tc.want) {
+			t.Errorf("%s: want violation %q, got %v", tc.name, tc.want, vs)
+		}
+	}
+}
+
+func TestCheckIgnoresNonProbeWireRecords(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	evs := append(faultTrace(),
+		// Report-leg retransmits and faults on other message types carry
+		// their own UIDs but must not enter probe-copy accounting.
+		ProbeRetx(ms(9), 7, 43, 3, "bcp.report", 1, 777),
+		NetFault(ms(9), 5, 6, FaultLoss, "recovery.ping", 64, 0),
+		NetDrop(ms(9), 5, 6, "recovery.ping", 64, 0),
+	)
+	if vs := Check(evs); len(vs) != 0 {
+		t.Fatalf("non-probe wire records flagged: %v", vs)
+	}
+}
+
 func TestCheckTotals(t *testing.T) {
 	evs := cleanTrace()
 	good := Counters{
@@ -168,6 +272,28 @@ func TestCheckTotals(t *testing.T) {
 	bad := good
 	bad.ProbesSent = 7
 	bad.BudgetSpent = 1
+	vs := CheckTotals(evs, bad)
+	if !hasViolation(vs, VioCounterMismatch) || len(vs) != 2 {
+		t.Fatalf("want 2 counter mismatches, got %v", vs)
+	}
+}
+
+func TestCheckTotalsFaults(t *testing.T) {
+	evs := faultTrace()
+	good := Counters{
+		ProbesSent:     3,
+		ProbesReturned: 1,
+		BudgetSpent:    18, // 6 + 6 + 6
+		ProbesRetx:     1,
+		MsgsDrop:       1,
+		Faults:         4, // dup + loss + 2 partition kills
+	}
+	if vs := CheckTotals(evs, good); len(vs) != 0 {
+		t.Fatalf("consistent fault totals flagged: %v", vs)
+	}
+	bad := good
+	bad.ProbesRetx = 0
+	bad.Faults = 9
 	vs := CheckTotals(evs, bad)
 	if !hasViolation(vs, VioCounterMismatch) || len(vs) != 2 {
 		t.Fatalf("want 2 counter mismatches, got %v", vs)

@@ -20,6 +20,8 @@
 //	rec.probe / rec.failure             failure monitoring (§5)
 //	rec.switchover / rec.reactive / rec.dead
 //	net.drop                            message to a dead or unknown peer
+//	net.fault                           injected loss/dup/jitter/partition
+//	probe.retransmit                    per-hop probe retransmit (same PID)
 package obs
 
 import (
@@ -53,6 +55,16 @@ const (
 	KindRecReactive    = "rec.reactive"
 	KindRecDead        = "rec.dead"
 	KindNetDrop        = "net.drop"
+	KindNetFault       = "net.fault"
+	KindProbeRetx      = "probe.retransmit"
+)
+
+// Fault kinds carried in a net.fault event's Note field.
+const (
+	FaultLoss      = "loss"
+	FaultDup       = "dup"
+	FaultJitter    = "jitter"
+	FaultPartition = "partition"
 )
 
 // Event is one structured trace record. The zero value of every optional
@@ -227,6 +239,26 @@ func RecOutcome(ts time.Duration, node p2p.NodeID, sess uint64, kind string, dur
 }
 
 // NetDrop records the network dropping a message to a dead or unknown peer.
-func NetDrop(ts time.Duration, from, to p2p.NodeID, msgType string, bytes int) Event {
-	return Event{TS: ts, Kind: KindNetDrop, Node: from, Peer: to, Bytes: bytes, Note: msgType}
+// uid is the message's protocol identity (a probe's PID), 0 if untracked, so
+// the trace checker can attribute the casualty per protocol unit.
+func NetDrop(ts time.Duration, from, to p2p.NodeID, msgType string, bytes int, uid uint64) Event {
+	return Event{TS: ts, Kind: KindNetDrop, Node: from, Peer: to, Bytes: bytes, Note: msgType, PID: uid}
+}
+
+// NetFault records the fault-injection plane acting on a message: kind is one
+// of the Fault* constants (Note), msgType the affected message type (Comp),
+// uid its protocol identity (PID, 0 if untracked). Loss and partition faults
+// kill the message; dup schedules an extra delivery; jitter delays one.
+func NetFault(ts time.Duration, from, to p2p.NodeID, kind, msgType string, bytes int, uid uint64) Event {
+	return Event{TS: ts, Kind: KindNetFault, Node: from, Peer: to, Bytes: bytes,
+		Note: kind, Comp: msgType, PID: uid}
+}
+
+// ProbeRetx records a per-hop retransmit of an unacknowledged probe-carrying
+// message: the same PID goes back on the wire toward to, without a fresh
+// probe.sent record (the copy is identical) and without spending budget.
+// msgType (Comp) says which leg was retransmitted (bcp.probe or bcp.report).
+func ProbeRetx(ts time.Duration, node p2p.NodeID, req uint64, to p2p.NodeID, msgType string, try int, pid uint64) Event {
+	return Event{TS: ts, Kind: KindProbeRetx, Node: node, Req: req, Peer: to,
+		Comp: msgType, Hops: try, PID: pid}
 }

@@ -22,7 +22,7 @@ func sampleEvents() []Event {
 		ComposeDone(8*time.Millisecond, 3, 42, true, 8*time.Millisecond),
 		DHTHop(9*time.Millisecond, 2, 5, 1, "get"),
 		DHTDeliver(10*time.Millisecond, 5, 2, "get"),
-		NetDrop(11*time.Millisecond, 3, 8, "bcp.probe", 128),
+		NetDrop(11*time.Millisecond, 3, 8, "bcp.probe", 128, 102),
 		RecOutcome(12*time.Millisecond, 3, 42, KindRecSwitchover, 300*time.Millisecond),
 		{TS: 13 * time.Millisecond, Kind: "weird", Node: 0, Peer: p2p.NoNode,
 			Note: `needs "escaping" \ and ünïcode`},

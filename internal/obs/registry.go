@@ -25,8 +25,11 @@ type NodeCounters struct {
 	ProbesDropped  atomic.Int64 // probes this node killed (QoS/resources/links)
 	ProbesReturned atomic.Int64 // completed probes reported to a destination
 	BudgetSpent    atomic.Int64 // probing budget carried by emitted probes
+	ProbesRetx     atomic.Int64 // per-hop probe retransmits (same PID, no budget)
 
 	DHTHops atomic.Int64 // DHT messages this node forwarded
+
+	Faults atomic.Int64 // injected network faults on messages this node sent
 }
 
 // Snapshot reads every counter once and returns a plain copyable value.
@@ -40,7 +43,9 @@ func (c *NodeCounters) Snapshot() Counters {
 		ProbesDropped:  c.ProbesDropped.Load(),
 		ProbesReturned: c.ProbesReturned.Load(),
 		BudgetSpent:    c.BudgetSpent.Load(),
+		ProbesRetx:     c.ProbesRetx.Load(),
 		DHTHops:        c.DHTHops.Load(),
+		Faults:         c.Faults.Load(),
 	}
 }
 
@@ -57,8 +62,11 @@ type Counters struct {
 	ProbesDropped  int64
 	ProbesReturned int64
 	BudgetSpent    int64
+	ProbesRetx     int64
 
 	DHTHops int64
+
+	Faults int64
 }
 
 // Add accumulates o into c.
@@ -71,7 +79,9 @@ func (c *Counters) Add(o Counters) {
 	c.ProbesDropped += o.ProbesDropped
 	c.ProbesReturned += o.ProbesReturned
 	c.BudgetSpent += o.BudgetSpent
+	c.ProbesRetx += o.ProbesRetx
 	c.DHTHops += o.DHTHops
+	c.Faults += o.Faults
 }
 
 // Registry hands out per-node counter blocks and rolls them up into the
@@ -151,7 +161,9 @@ func (r *Registry) Table(title string) *metrics.Table {
 	t.AddRow("probes dropped", tot.ProbesDropped)
 	t.AddRow("probes returned", tot.ProbesReturned)
 	t.AddRow("probe budget spent", tot.BudgetSpent)
+	t.AddRow("probe retransmits", tot.ProbesRetx)
 	t.AddRow("dht hops", tot.DHTHops)
+	t.AddRow("faults injected", tot.Faults)
 	return t
 }
 

@@ -28,6 +28,12 @@ type Message struct {
 	To      NodeID
 	Size    int // approximate wire size in bytes, for overhead accounting
 	Payload any
+	// UID optionally identifies this message instance across the run (0 if
+	// the protocol does not track identity). Transports stamp it onto drop
+	// and fault-injection trace events, so per-copy accounting — e.g. the
+	// probe-conservation invariant under loss, duplication, and retransmit —
+	// can match every wire-level casualty to the protocol unit it carried.
+	UID uint64
 }
 
 // Handler processes one received message on the destination node.

@@ -1,0 +1,76 @@
+package recovery_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/p2p"
+	"repro/internal/recovery"
+	"repro/internal/simnet"
+)
+
+// blipSource cuts the session source off from every other peer for a window
+// long enough to silence one or two maintenance-probe rounds but shorter
+// than three.
+func blipSource(c *cluster.Cluster, nPeers int) {
+	others := make([]p2p.NodeID, 0, nPeers-1)
+	for i := 1; i < nPeers; i++ {
+		others = append(others, p2p.NodeID(i))
+	}
+	c.ApplyFaults(simnet.FaultPlan{
+		Seed: 1,
+		Partitions: []simnet.Partition{{
+			Name: "blip", A: []p2p.NodeID{0}, B: others,
+			From: 1 * time.Second, Until: 4 * time.Second,
+		}},
+	})
+}
+
+// TestMissedPongsToleratesTransientSilence: with MissedPongs=3, a network
+// blip that silences at most two consecutive probe rounds must not be
+// declared a failure; with the eager default of 1 the same blip must be.
+func TestMissedPongsToleratesTransientSilence(t *testing.T) {
+	run := func(missed int) (detected int, alive bool) {
+		cfg := recovery.DefaultConfig()
+		cfg.MissedPongs = missed
+		c := newCluster(33, cfg)
+		req := makeReq(c, 4, 3, 60)
+		establish(t, c, req)
+		blipSource(c, len(c.Peers))
+		c.Sim.Run(c.Sim.Now() + 30*time.Second)
+		mgr := c.Peers[int(req.Source)].Recovery
+		return mgr.Stats().FailuresDetected, mgr.Session(req.ID) != nil
+	}
+
+	detected, alive := run(3)
+	if detected != 0 {
+		t.Errorf("MissedPongs=3: %d failures detected across a 2-round blip, want 0", detected)
+	}
+	if !alive {
+		t.Error("MissedPongs=3: session did not survive the blip")
+	}
+
+	detected, _ = run(1)
+	if detected == 0 {
+		t.Error("MissedPongs=1: the same blip went undetected (hysteresis leaked into the default)")
+	}
+}
+
+// TestDuplicatedControlTrafficHarmless: duplicating every message on the
+// wire (pongs, ping acks, setup replies) must neither break a healthy
+// session nor trip spurious failure detection.
+func TestDuplicatedControlTrafficHarmless(t *testing.T) {
+	c := newCluster(34, recovery.DefaultConfig())
+	req := makeReq(c, 5, 3, 60)
+	establish(t, c, req)
+	c.ApplyFaults(simnet.FaultPlan{Seed: 1, Default: simnet.LinkFaults{Dup: 1}})
+	c.Sim.Run(c.Sim.Now() + 30*time.Second)
+	mgr := c.Peers[int(req.Source)].Recovery
+	if st := mgr.Stats(); st.FailuresDetected != 0 {
+		t.Errorf("duplicated traffic tripped %d failure detections", st.FailuresDetected)
+	}
+	if mgr.Session(req.ID) == nil {
+		t.Error("session died under duplication-only faults")
+	}
+}

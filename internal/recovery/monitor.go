@@ -107,6 +107,7 @@ func (m *Manager) onPong(_ p2p.Node, msg p2p.Message) {
 		return
 	}
 	s.lastPong[pm.GraphKey] = m.host.Now()
+	delete(s.missed, pm.GraphKey)
 	// Fold the fresh availability snapshots back into the graph so backup
 	// qualification stays current.
 	for i, fn := range pm.Order {
@@ -126,6 +127,19 @@ func (m *Manager) checkPong(sessID uint64, graphKey string, sentAt time.Duration
 	if last, ok := s.lastPong[graphKey]; ok && last >= sentAt {
 		return // pong arrived in time
 	}
+	// One silent probe is not yet a failure when MissedPongs > 1: on lossy
+	// links the probe (or its pong) may simply have been dropped. Count
+	// consecutive misses and only declare the graph broken at the threshold;
+	// any pong in between resets the count (onPong).
+	need := m.cfg.MissedPongs
+	if need < 1 {
+		need = 1
+	}
+	s.missed[graphKey]++
+	if s.missed[graphKey] < need {
+		return
+	}
+	delete(s.missed, graphKey)
 	if s.Active.Key() == graphKey {
 		m.activeFailed(s)
 		return
@@ -279,6 +293,7 @@ func (m *Manager) tryRecovery(s *Session, dead map[p2p.NodeID]bool) {
 			old := s.Active
 			s.Active = cand
 			s.lastPong[cand.Key()] = m.host.Now()
+			delete(s.missed, cand.Key())
 			m.stats.ComponentsReplaced += len(old.Comps) - cand.Overlap(old)
 			m.allocIngress(s)
 			m.reportDropped(old, cand)
@@ -318,6 +333,7 @@ func (m *Manager) reactive(s *Session) {
 		s.Active = res.Best
 		s.Pool = append([]*service.Graph(nil), res.Backups...)
 		s.lastPong = map[string]time.Duration{res.Best.Key(): m.host.Now()}
+		s.missed = make(map[string]int)
 		m.stats.ComponentsReplaced += len(old.Comps) - res.Best.Overlap(old)
 		m.reportDropped(old, res.Best)
 		m.eng.TeardownExcept(old, res.Best)

@@ -40,6 +40,11 @@ type Config struct {
 	// PingTimeout bounds the per-peer liveness check that localizes a
 	// failure before switchover.
 	PingTimeout time.Duration
+	// MissedPongs is how many consecutive path probes must go unanswered
+	// before a graph is declared failed. 1 (the default) reacts to the
+	// first silence; lossy networks raise it so a single dropped probe or
+	// pong doesn't trigger a spurious switchover. 0 is treated as 1.
+	MissedPongs int
 	// U is the configurable upper-bound factor of the backup-count formula
 	// (Eq. 2).
 	U float64
@@ -63,6 +68,7 @@ func DefaultConfig() Config {
 		PongTimeout:   1500 * time.Millisecond,
 		SetupTimeout:  3 * time.Second,
 		PingTimeout:   400 * time.Millisecond,
+		MissedPongs:   1,
 		U:             2.0,
 		MaxBackups:    5,
 		Proactive:     true,
@@ -140,6 +146,7 @@ type Session struct {
 
 	alive       bool
 	lastPong    map[string]time.Duration // graph key -> last pong time
+	missed      map[string]int           // graph key -> consecutive missed pongs
 	awaitingFix bool
 	brokenAt    time.Duration
 	reattempt   int
@@ -266,6 +273,7 @@ func (m *Manager) Establish(req *service.Request, res bcp.Result) *Session {
 		Pool:     append([]*service.Graph(nil), res.Backups...),
 		alive:    true,
 		lastPong: make(map[string]time.Duration),
+		missed:   make(map[string]int),
 	}
 	m.sessions[s.ID] = s
 	if m.cfg.Proactive {

@@ -1,0 +1,152 @@
+package simnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/p2p"
+)
+
+// FaultSpec is the compact command-line form of a fault plan, as accepted
+// by the -faults flag:
+//
+//	loss=0.05,dup=0.01,jitter=20ms,partition=10s@30s,seed=3
+//
+// Keys may appear in any order, each at most once. loss and dup are
+// probabilities in [0, 1] applied to every link; jitter is the uniform
+// extra-latency bound; partition=<dur>@<at> cuts the peer set in half at
+// <at> for <dur> (the "@<at>" part defaults to 0); seed isolates the fault
+// RNG stream. String renders the canonical form (fixed key order, defaults
+// omitted), and Plan expands the spec into a FaultPlan over a peer set.
+type FaultSpec struct {
+	Loss    float64
+	Dup     float64
+	Jitter  time.Duration
+	PartDur time.Duration // half/half partition length; 0 = no partition
+	PartAt  time.Duration // partition activation time
+	Seed    int64
+}
+
+// ParseFaultSpec parses the -faults grammar. The empty string is an error —
+// "no faults" is expressed by not passing the flag at all.
+func ParseFaultSpec(s string) (*FaultSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty fault spec (want e.g. %q)", "loss=0.05,jitter=20ms,partition=10s@30s")
+	}
+	spec := &FaultSpec{}
+	seen := make(map[string]bool)
+	for _, field := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok || key == "" || val == "" {
+			return nil, fmt.Errorf("fault spec field %q: want key=value", field)
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("fault spec key %q given twice", key)
+		}
+		seen[key] = true
+		switch key {
+		case "loss", "dup":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault spec %s=%q: %v", key, val, err)
+			}
+			if p < 0 || p > 1 {
+				return nil, fmt.Errorf("fault spec %s=%v: probability outside [0,1]", key, p)
+			}
+			if key == "loss" {
+				spec.Loss = p
+			} else {
+				spec.Dup = p
+			}
+		case "jitter":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault spec jitter=%q: %v", val, err)
+			}
+			if d < 0 {
+				return nil, fmt.Errorf("fault spec jitter=%v: negative", d)
+			}
+			spec.Jitter = d
+		case "partition":
+			durStr, atStr, hasAt := strings.Cut(val, "@")
+			d, err := time.ParseDuration(durStr)
+			if err != nil {
+				return nil, fmt.Errorf("fault spec partition=%q: bad duration: %v", val, err)
+			}
+			if d <= 0 {
+				return nil, fmt.Errorf("fault spec partition=%v: duration must be positive", d)
+			}
+			spec.PartDur = d
+			if hasAt {
+				at, err := time.ParseDuration(atStr)
+				if err != nil {
+					return nil, fmt.Errorf("fault spec partition=%q: bad activation time: %v", val, err)
+				}
+				if at < 0 {
+					return nil, fmt.Errorf("fault spec partition=%q: negative activation time", val)
+				}
+				spec.PartAt = at
+			}
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault spec seed=%q: %v", val, err)
+			}
+			spec.Seed = n
+		default:
+			return nil, fmt.Errorf("fault spec key %q: want loss, dup, jitter, partition, or seed", key)
+		}
+	}
+	return spec, nil
+}
+
+// String renders the canonical spec: fixed key order, zero-valued keys
+// omitted. ParseFaultSpec(s.String()) reproduces s for any spec with at
+// least one non-zero field.
+func (s *FaultSpec) String() string {
+	var parts []string
+	if s.Loss != 0 {
+		parts = append(parts, "loss="+strconv.FormatFloat(s.Loss, 'g', -1, 64))
+	}
+	if s.Dup != 0 {
+		parts = append(parts, "dup="+strconv.FormatFloat(s.Dup, 'g', -1, 64))
+	}
+	if s.Jitter != 0 {
+		parts = append(parts, "jitter="+s.Jitter.String())
+	}
+	if s.PartDur != 0 {
+		p := "partition=" + s.PartDur.String()
+		if s.PartAt != 0 {
+			p += "@" + s.PartAt.String()
+		}
+		parts = append(parts, p)
+	}
+	if s.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatInt(s.Seed, 10))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Plan expands the spec into a FaultPlan over peers: loss/dup/jitter become
+// the every-link default, and the partition (if any) cuts the first half of
+// peers from the second. Partition times are relative to t=0; shift the
+// plan (or use Cluster.ApplyFaults) when installing mid-run.
+func (s *FaultSpec) Plan(peers []p2p.NodeID) FaultPlan {
+	plan := FaultPlan{
+		Seed:    s.Seed,
+		Default: LinkFaults{Loss: s.Loss, Dup: s.Dup, Jitter: s.Jitter},
+	}
+	if s.PartDur > 0 && len(peers) >= 2 {
+		half := len(peers) / 2
+		plan.Partitions = []Partition{{
+			Name:  "spec",
+			A:     append([]p2p.NodeID(nil), peers[:half]...),
+			B:     append([]p2p.NodeID(nil), peers[half:]...),
+			From:  s.PartAt,
+			Until: s.PartAt + s.PartDur,
+		}}
+	}
+	return plan
+}

@@ -19,8 +19,10 @@ type Stats struct {
 	MessagesSent int64
 	BytesSent    int64
 	Delivered    int64
-	Dropped      int64 // destination dead or unknown
+	Dropped      int64 // destination dead, unknown, or crashed since send
 	Unhandled    int64 // delivered but no handler registered
+	Faulted      int64 // killed at send time by injected loss or partition
+	Duplicated   int64 // extra copies injected by duplication faults
 	ByType       map[string]int64
 }
 
@@ -35,6 +37,7 @@ type Network struct {
 	trace   obs.Tracer
 	obsReg  *obs.Registry
 	met     *obs.Metrics
+	faults  *faultState // nil unless SetFaults installed a plan
 }
 
 // NewNetwork creates a network whose message delays come from latency and
@@ -146,19 +149,69 @@ func (nw *Network) send(msg p2p.Message) {
 	if nw.met != nil {
 		nw.met.WireBytes.Observe(float64(msg.Size))
 	}
+	// Capture the destination's epoch now: a message in flight when its
+	// destination crashes must not surface after a later Recover (Fail
+	// promises in-flight messages are dropped).
+	epoch, known := uint64(0), false
+	if dst, ok := nw.nodes[msg.To]; ok {
+		epoch, known = dst.epoch, true
+	}
 	d := nw.latency(msg.From, msg.To)
-	nw.sim.Schedule(d, func() { nw.deliver(msg) })
+	if fs := nw.faults; fs != nil {
+		// Fixed evaluation order — partition, loss, jitter, dup — with a
+		// draw consumed only when the matching rate is non-zero, so plans
+		// that differ in one knob replay the rest of the stream unchanged.
+		if fs.partitioned(msg.From, msg.To, nw.sim.Now()) {
+			nw.stats.Faulted++
+			nw.fault(msg, obs.FaultPartition)
+			return
+		}
+		lf := fs.link(msg.From, msg.To)
+		if lf.Loss > 0 && fs.frng.Float64() < lf.Loss {
+			nw.stats.Faulted++
+			nw.fault(msg, obs.FaultLoss)
+			return
+		}
+		if lf.Jitter > 0 {
+			if extra := time.Duration(fs.frng.Int63n(int64(lf.Jitter) + 1)); extra > 0 {
+				d += extra
+				nw.fault(msg, obs.FaultJitter)
+			}
+		}
+		if lf.Dup > 0 && fs.frng.Float64() < lf.Dup {
+			// The copy rides the already-drawn base delay (never the main
+			// RNG) plus its own jitter, and shares the captured epoch.
+			dd := d
+			if lf.Jitter > 0 {
+				dd += time.Duration(fs.frng.Int63n(int64(lf.Jitter) + 1))
+			}
+			nw.stats.Duplicated++
+			nw.fault(msg, obs.FaultDup)
+			nw.sim.Schedule(dd, func() { nw.deliver(msg, epoch, known) })
+		}
+	}
+	nw.sim.Schedule(d, func() { nw.deliver(msg, epoch, known) })
 }
 
-func (nw *Network) deliver(msg p2p.Message) {
+// fault records one injected fault against msg's sender and the trace.
+func (nw *Network) fault(msg p2p.Message, kind string) {
+	if src, ok := nw.nodes[msg.From]; ok && src.ctr != nil {
+		src.ctr.Faults.Add(1)
+	}
+	if nw.trace != nil {
+		nw.trace.Emit(obs.NetFault(nw.sim.Now(), msg.From, msg.To, kind, msg.Type, msg.Size, msg.UID))
+	}
+}
+
+func (nw *Network) deliver(msg p2p.Message, epoch uint64, known bool) {
 	dst, ok := nw.nodes[msg.To]
-	if !ok || !dst.alive {
+	if !ok || !dst.alive || (known && dst.epoch != epoch) {
 		nw.stats.Dropped++
 		if src, live := nw.nodes[msg.From]; live && src.ctr != nil {
 			src.ctr.MsgsDrop.Add(1)
 		}
 		if nw.trace != nil {
-			nw.trace.Emit(obs.NetDrop(nw.sim.Now(), msg.From, msg.To, msg.Type, msg.Size))
+			nw.trace.Emit(obs.NetDrop(nw.sim.Now(), msg.From, msg.To, msg.Type, msg.Size, msg.UID))
 		}
 		return
 	}

@@ -34,4 +34,15 @@ gunzip -c "$tmp/c.jsonl.gz" | cmp - "$tmp/a.jsonl"
 "$tmp/spidersim" -seed 7 -ipnodes 600 -peers 80 -requests 30 -duration 3m \
     -check > /dev/null
 
+# Chaos gate: 20% loss (plus duplication and jitter) on every link. The
+# 100-request workload must finish with zero hung compositions, the trace
+# must satisfy the probe-conservation invariants with faults accounted, and
+# the fault plane must be deterministic: same seed, byte-identical trace.
+echo "== chaos gate (loss=0.2, dup=0.05, jitter=10ms)"
+"$tmp/spidersim" -seed 7 -ipnodes 400 -peers 60 -requests 100 -duration 3m \
+    -faults "loss=0.2,dup=0.05,jitter=10ms,seed=3" -check -trace "$tmp/f1.jsonl" > /dev/null
+"$tmp/spidersim" -seed 7 -ipnodes 400 -peers 60 -requests 100 -duration 3m \
+    -faults "loss=0.2,dup=0.05,jitter=10ms,seed=3" -check -trace "$tmp/f2.jsonl" > /dev/null
+cmp "$tmp/f1.jsonl" "$tmp/f2.jsonl"
+
 echo "== ci ok"
