@@ -365,6 +365,39 @@ func BenchmarkBCPCompose(b *testing.B) {
 	}
 }
 
+// BenchmarkSimEventDispatch measures the steady-state Schedule→fire cycle
+// of the indexed event queue with a warm freelist: one allocation per cycle
+// (the cancel closure).
+func BenchmarkSimEventDispatch(b *testing.B) {
+	sim := simnet.NewSim()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		sim.Schedule(0, fn)
+	}
+	sim.RunUntilIdle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Schedule(time.Microsecond, fn)
+		sim.Step()
+	}
+}
+
+// BenchmarkTopologyPaperScale generates the paper's full 10,000-node IP
+// network and builds a 1,000-peer overlay on it — the construction cost every
+// -paper experiment pays up front. The edge-set index and the batched
+// peer-pair Dijkstra keep this in single-digit seconds.
+func BenchmarkTopologyPaperScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := newSeededRng(79)
+		g := topology.GeneratePowerLaw(10000, 2, 2, 30, rng)
+		ov := topology.BuildOverlay(g, topology.OverlayConfig{NumPeers: 1000, Degree: 4}, rng)
+		if ov.N() != 1000 {
+			b.Fatal("overlay incomplete")
+		}
+	}
+}
+
 // BenchmarkDHTLookup measures a single decentralized discovery lookup.
 func BenchmarkDHTLookup(b *testing.B) {
 	sim := simnet.NewSim()

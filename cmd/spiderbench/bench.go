@@ -55,6 +55,8 @@ func runBench(dir string) error {
 		{"dht/lookup", benchDHTLookup},
 		{"overlay/route", benchOverlayRoute},
 		{"service/cost", benchCost},
+		{"sim/dispatch", benchSimDispatch},
+		{"topology/generate", benchTopologyGenerate},
 		{"obs/jsonl-emit", benchObsEmit},
 		{"obs/emit-disabled", benchObsDisabled},
 	}
@@ -163,6 +165,35 @@ func benchCost(b *testing.B) {
 		if c := g.Cost(w, req); c <= 0 {
 			b.Fatal("bad cost")
 		}
+	}
+}
+
+// benchSimDispatch measures the steady-state Schedule→fire cycle of the
+// event queue with a warm freelist (the hot loop of every simulated figure).
+func benchSimDispatch(b *testing.B) {
+	sim := simnet.NewSim()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		sim.Schedule(0, fn)
+	}
+	sim.RunUntilIdle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Schedule(time.Microsecond, fn)
+		sim.Step()
+	}
+}
+
+// benchTopologyGenerate measures power-law IP network generation plus
+// overlay construction (edge-set index, batched peer-pair Dijkstra) at a
+// quarter of the paper's scale so the suite stays quick.
+func benchTopologyGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(78))
+		g := topology.GeneratePowerLaw(2500, 2, 2, 30, rng)
+		topology.BuildOverlay(g, topology.OverlayConfig{NumPeers: 250, Degree: 4}, rng)
 	}
 }
 

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiment"
@@ -36,7 +38,41 @@ func main() {
 	traceFile := flag.String("trace", "", "write a deterministic JSONL event trace of the simulated figures to this file")
 	stats := flag.Bool("stats", false, "print per-layer counter tables after the figures")
 	faults := flag.String("faults", "", "fault spec layered onto figures 9 and 10, e.g. loss=0.05,jitter=20ms,partition=10s@30s")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker count for the independent cells of the simulated figures; 1 = serial. Output is byte-identical at any value")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	var fspec *simnet.FaultSpec
 	if *faults != "" {
@@ -115,6 +151,7 @@ func main() {
 			cfg.Seed = *seed
 			cfg.Trace = trace
 			cfg.Counters = reg
+			cfg.Parallel = *parallel
 			res := experiment.Fig8(cfg)
 			res.Table.Render(os.Stdout)
 			writeCSV("fig8", res.Table)
@@ -131,6 +168,7 @@ func main() {
 			cfg.Trace = trace
 			cfg.Counters = reg
 			cfg.Faults = fspec
+			cfg.Parallel = *parallel
 			res := experiment.Fig9(cfg)
 			res.Table.Render(os.Stdout)
 			writeCSV("fig9", res.Table)
@@ -164,6 +202,7 @@ func main() {
 			cfg.Seed = *seed
 			cfg.Trace = trace
 			cfg.Counters = reg
+			cfg.Parallel = *parallel
 			res := experiment.Fig11(cfg)
 			res.Table.Render(os.Stdout)
 			writeCSV("fig11", res.Table)
@@ -179,6 +218,7 @@ func main() {
 			cfg.Seed = *seed
 			cfg.Trace = trace
 			cfg.Counters = reg
+			cfg.Parallel = *parallel
 			res := experiment.Overhead(cfg)
 			res.Table.Render(os.Stdout)
 			writeCSV("overhead", res.Table)

@@ -17,6 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bcp"
@@ -57,6 +60,7 @@ func run() error {
 		stats     = flag.Bool("stats", false, "print per-layer counter tables, histograms, and a trace summary")
 		summarize = flag.String("summarize", "", "summarize an existing JSONL trace file and exit")
 		check     = flag.Bool("check", false, "verify trace invariants: on the given trace files, or on this run")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "workers for multi-file -check; 1 = serial")
 	)
 	flag.Parse()
 
@@ -65,7 +69,7 @@ func run() error {
 	}
 
 	if *check && flag.NArg() > 0 {
-		return checkTraceFiles(flag.Args())
+		return checkTraceFiles(flag.Args(), *parallel)
 	}
 
 	if *specFile != "" {
@@ -242,18 +246,52 @@ func run() error {
 }
 
 // checkTraceFiles verifies trace invariants on existing (possibly gzipped)
-// trace files. Counter cross-checks need the live registry, so file mode
-// runs only the event-level invariants.
-func checkTraceFiles(paths []string) error {
-	for _, path := range paths {
-		events, err := obs.LoadTrace(path)
-		if err != nil {
+// trace files, loading and checking up to `parallel` files concurrently.
+// Results are reported in argument order regardless of completion order.
+// Counter cross-checks need the live registry, so file mode runs only the
+// event-level invariants.
+func checkTraceFiles(paths []string, parallel int) error {
+	if parallel > len(paths) {
+		parallel = len(paths)
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	type outcome struct {
+		n   int
+		vs  []obs.Violation
+		err error
+	}
+	outcomes := make([]outcome, len(paths))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(paths) {
+					return
+				}
+				events, err := obs.LoadTrace(paths[i])
+				if err != nil {
+					outcomes[i] = outcome{err: err}
+					continue
+				}
+				outcomes[i] = outcome{n: len(events), vs: obs.Check(events)}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, o := range outcomes {
+		if o.err != nil {
+			return o.err
+		}
+		if err := reportViolations(paths[i], o.vs); err != nil {
 			return err
 		}
-		if err := reportViolations(path, obs.Check(events)); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "check: %s: %d events ok\n", path, len(events))
+		fmt.Fprintf(os.Stderr, "check: %s: %d events ok\n", paths[i], o.n)
 	}
 	return nil
 }

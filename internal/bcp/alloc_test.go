@@ -1,0 +1,48 @@
+package bcp_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bcp"
+	"repro/internal/cluster"
+	"repro/internal/qos"
+	"repro/internal/workload"
+)
+
+// TestComposeAllocBudget is the probe-forwarding allocation regression gate:
+// one full composition (probe fan-out across the overlay, forwarding at every
+// hop, destination-side collection, reverse-path setup, teardown) must stay
+// under an allocation budget well below the pre-optimization figure of ~3300
+// objects. The committed BENCH_*.json baseline tracks the precise number;
+// this test fails fast if a change regresses the hot path wholesale.
+func TestComposeAllocBudget(t *testing.T) {
+	catalog := []string{"fn0", "fn1", "fn2", "fn3", "fn4", "fn5", "fn6", "fn7", "fn8", "fn9"}
+	c := cluster.New(cluster.Options{Seed: 75, IPNodes: 400, Peers: 60, Catalog: catalog})
+	gen := workload.NewGenerator(workload.Config{
+		Catalog: catalog, Peers: 60, MinFuncs: 3, MaxFuncs: 3,
+		Budget: 12, DelayReqMin: 300, DelayReqMax: 600,
+	}, c.Rng)
+
+	compose := func() {
+		req := gen.Next()
+		req.QoSReq[qos.Delay] = 5000
+		eng := c.Peers[int(req.Source)].Engine
+		eng.Compose(req, func(res bcp.Result) {
+			if res.Ok {
+				eng.Teardown(res.Best)
+			}
+		})
+		c.Sim.Run(c.Sim.Now() + 30*time.Second)
+	}
+	// Warm route caches, DHT state, and the simulator freelist so the
+	// measurement reflects the steady state the figures run in.
+	for i := 0; i < 5; i++ {
+		compose()
+	}
+	avg := testing.AllocsPerRun(50, compose)
+	const budget = 2800 // pre-optimization: ~3300; current steady state: ~2300
+	if avg > budget {
+		t.Fatalf("one composition allocates %.0f objects, budget %d", avg, budget)
+	}
+}

@@ -31,6 +31,9 @@ type Fig11Config struct {
 	// Trace/Counters, when non-nil, are wired into every per-budget cluster.
 	Trace    obs.Tracer
 	Counters *obs.Registry
+	// Parallel is the worker count for the per-budget cells; <= 1 runs them
+	// serially. Results and traces are byte-identical at any worker count.
+	Parallel int
 }
 
 // DefaultFig11Config mirrors the paper's prototype dimensions: 102 peers,
@@ -76,11 +79,15 @@ type Fig11Result struct {
 // and the optimal (exhaustive) algorithm. All approaches minimize
 // end-to-end delay, the paper's objective for this experiment.
 func Fig11(cfg Fig11Config) Fig11Result {
+	// One cell per probing budget; each builds its own identically seeded
+	// deployment.
+	points := make([]Fig11Point, len(cfg.Budgets))
+	runCells(len(points), cfg.Parallel, cfg.Trace, func(i int, tracer obs.Tracer) {
+		points[i] = fig11Point(cfg, cfg.Budgets[i], tracer)
+	})
+
 	var out Fig11Result
-	for _, budget := range cfg.Budgets {
-		p := fig11Point(cfg, budget)
-		out.Points = append(out.Points, p)
-	}
+	out.Points = points
 	t := metrics.NewTable("Figure 11: average delay (ms) vs. probing budget — 3 functions",
 		"budget", "random", "spidernet", "optimal", "optimal-probes")
 	for _, p := range out.Points {
@@ -90,7 +97,7 @@ func Fig11(cfg Fig11Config) Fig11Result {
 	return out
 }
 
-func fig11Point(cfg Fig11Config, budget int) Fig11Point {
+func fig11Point(cfg Fig11Config, budget int, tracer obs.Tracer) Fig11Point {
 	// Fresh, identically seeded deployment per budget level: one media
 	// component per peer, generous capacity (the experiment studies delay,
 	// not admission).
@@ -101,7 +108,7 @@ func fig11Point(cfg Fig11Config, budget int) Fig11Point {
 		Catalog:  mediaCatalog(),
 		MinComps: 1,
 		MaxComps: 1,
-		Trace:    cfg.Trace,
+		Trace:    tracer,
 		Obs:      cfg.Counters,
 	})
 	for _, p := range c.Peers {

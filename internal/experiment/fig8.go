@@ -49,6 +49,10 @@ type Fig8Config struct {
 	// experiment builds (all algorithms and workload levels share them).
 	Trace    obs.Tracer
 	Counters *obs.Registry
+	// Parallel is the worker count for the (workload, algorithm) cells;
+	// <= 1 runs them serially. Results and traces are byte-identical at any
+	// worker count.
+	Parallel int
 }
 
 // DefaultFig8Config returns the laptop-scale configuration.
@@ -118,12 +122,19 @@ const (
 // random, and static algorithms. Each algorithm replays the identical
 // request schedule on a fresh identically seeded cluster.
 func Fig8(cfg Fig8Config) Fig8Result {
+	// One cell per (workload, algorithm) pair; each builds its own cluster
+	// from the same seed, so cells are independent and order-free.
+	ratios := make([]float64, len(cfg.Workloads)*numAlgs)
+	runCells(len(ratios), cfg.Parallel, cfg.Trace, func(i int, tracer obs.Tracer) {
+		ratios[i] = fig8Run(cfg, cfg.Workloads[i/numAlgs], i%numAlgs, tracer)
+	})
+
 	var out Fig8Result
-	for _, w := range cfg.Workloads {
+	for wi, w := range cfg.Workloads {
 		var p Fig8Point
 		p.Workload = w
 		for alg := 0; alg < numAlgs; alg++ {
-			ratio := fig8Run(cfg, w, alg)
+			ratio := ratios[wi*numAlgs+alg]
 			switch alg {
 			case algOptimal:
 				p.Optimal = ratio
@@ -149,8 +160,9 @@ func Fig8(cfg Fig8Config) Fig8Result {
 }
 
 // fig8Run replays one workload level through one algorithm and returns its
-// success ratio.
-func fig8Run(cfg Fig8Config, perUnit int, alg int) float64 {
+// success ratio. tracer is the cell's trace destination (a private buffer
+// under the parallel runner, the shared sink when serial, nil when off).
+func fig8Run(cfg Fig8Config, perUnit int, alg int, tracer obs.Tracer) float64 {
 	bcpCfg := bcp.DefaultConfig()
 	// Soft reservations need to outlive probe collection plus the reverse
 	// ACK, but nothing more: longer holds make concurrent requests starve
@@ -163,7 +175,7 @@ func fig8Run(cfg Fig8Config, perUnit int, alg int) float64 {
 		Catalog:  fnCatalog(cfg.Functions),
 		Capacity: cfg.Capacity,
 		BCP:      bcpCfg,
-		Trace:    cfg.Trace,
+		Trace:    tracer,
 		Obs:      cfg.Counters,
 	})
 	w := c.World()

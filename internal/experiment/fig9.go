@@ -42,6 +42,10 @@ type Fig9Config struct {
 	// Trace/Counters, when non-nil, are wired into both runs' clusters.
 	Trace    obs.Tracer
 	Counters *obs.Registry
+	// Parallel is the worker count for the two recovery-variant cells;
+	// <= 1 runs them serially. Results and traces are byte-identical at any
+	// worker count.
+	Parallel int
 }
 
 // DefaultFig9Config returns the laptop-scale configuration.
@@ -97,13 +101,21 @@ type Fig9Result struct {
 // session population protected by proactive failure recovery against an
 // unprotected one.
 func Fig9(cfg Fig9Config) Fig9Result {
-	recCfg := recovery.DefaultConfig()
-	withTL, withStats := fig9Run(cfg, recCfg)
+	// Two cells: the protected population and the unprotected one. Each
+	// builds its own cluster from the same seed.
+	recCfgs := make([]recovery.Config, 2)
+	recCfgs[0] = recovery.DefaultConfig()
+	recCfgs[1] = recovery.DefaultConfig()
+	recCfgs[1].Proactive = false
+	recCfgs[1].Reactive = false
 
-	noneCfg := recovery.DefaultConfig()
-	noneCfg.Proactive = false
-	noneCfg.Reactive = false
-	withoutTL, withoutStats := fig9Run(cfg, noneCfg)
+	tls := make([]*metrics.Timeline, 2)
+	stats := make([]fig9Stats, 2)
+	runCells(2, cfg.Parallel, cfg.Trace, func(i int, tracer obs.Tracer) {
+		tls[i], stats[i] = fig9Run(cfg, recCfgs[i], tracer)
+	})
+	withTL, withStats := tls[0], stats[0]
+	withoutTL, withoutStats := tls[1], stats[1]
 
 	horizon := time.Duration(cfg.TimeUnits) * cfg.TimeUnit
 	wo := withoutTL.Counts(horizon)
@@ -141,7 +153,7 @@ type fig9Stats struct {
 
 // fig9Run simulates one protected (or unprotected) session population under
 // churn and returns the timeline of unrecovered failures.
-func fig9Run(cfg Fig9Config, recCfg recovery.Config) (*metrics.Timeline, fig9Stats) {
+func fig9Run(cfg Fig9Config, recCfg recovery.Config, tracer obs.Tracer) (*metrics.Timeline, fig9Stats) {
 	bcpCfg := bcp.DefaultConfig()
 	if cfg.Faults != nil {
 		bcpCfg.ProbeAckTimeout = 300 * time.Millisecond
@@ -155,7 +167,7 @@ func fig9Run(cfg Fig9Config, recCfg recovery.Config) (*metrics.Timeline, fig9Sta
 		Catalog:  fnCatalog(cfg.Functions),
 		BCP:      bcpCfg,
 		Recovery: &recCfg,
-		Trace:    cfg.Trace,
+		Trace:    tracer,
 		Obs:      cfg.Counters,
 	})
 	if cfg.Faults != nil {

@@ -32,6 +32,10 @@ type OverheadConfig struct {
 	// Trace/Counters, when non-nil, are wired into the measured cluster.
 	Trace    obs.Tracer
 	Counters *obs.Registry
+	// Parallel is accepted for interface uniformity with the other
+	// experiments; the overhead comparison is a single cell, so it never
+	// spawns workers.
+	Parallel int
 }
 
 // DefaultOverheadConfig returns the laptop-scale configuration.

@@ -12,17 +12,26 @@ import (
 // Sim is a discrete-event scheduler over a virtual clock. It is not safe for
 // concurrent use: everything runs in the single simulation goroutine, which
 // is what makes runs bit-for-bit reproducible.
+//
+// The event queue is an index-tracked binary heap: every queued event knows
+// its own heap slot, so cancellation removes the event immediately (no
+// tombstones accumulate across a long soak) and Pending is the heap length.
+// Fired and cancelled events return to a freelist and are reused by later
+// Schedule calls, so the steady-state Schedule→fire path allocates only the
+// returned cancel closure.
 type Sim struct {
 	now    time.Duration
 	events eventHeap
 	seq    uint64
+	free   []*event
 }
 
 type event struct {
-	at        time.Duration
-	seq       uint64 // FIFO tie-break for simultaneous events
-	fn        func()
-	cancelled bool
+	at  time.Duration
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+	idx int    // heap slot; -1 once fired or cancelled
+	gen uint64 // incremented on recycle so stale cancel closures are no-ops
 }
 
 // NewSim returns a simulator with the clock at zero and no pending events.
@@ -31,59 +40,79 @@ func NewSim() *Sim { return &Sim{} }
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Duration { return s.now }
 
-// Pending returns the number of scheduled (non-cancelled) events.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, e := range s.events {
-		if !e.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled events. Cancelled events are
+// removed from the queue at cancel time, so this is the live count, O(1).
+func (s *Sim) Pending() int { return len(s.events) }
 
 // Schedule runs fn after delay d of virtual time. Negative delays are
 // clamped to zero. The returned function cancels the event if it has not yet
-// fired.
+// fired; calling it after the event fired (or twice) is a no-op.
 func (s *Sim) Schedule(d time.Duration, fn func()) func() {
 	if d < 0 {
 		d = 0
 	}
-	e := &event{at: s.now + d, seq: s.seq, fn: fn}
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.at = s.now + d
+	e.seq = s.seq
+	e.fn = fn
 	s.seq++
 	heap.Push(&s.events, e)
-	return func() { e.cancelled = true }
+	gen := e.gen
+	return func() { s.cancel(e, gen) }
+}
+
+// cancel removes e from the queue if it is still the incarnation the cancel
+// closure was minted for. The generation check makes stale closures (held
+// across the event firing and its struct being reused) harmless.
+func (s *Sim) cancel(e *event, gen uint64) {
+	if e.gen != gen || e.idx < 0 {
+		return
+	}
+	heap.Remove(&s.events, e.idx)
+	s.recycle(e)
+}
+
+// recycle retires a fired or cancelled event onto the freelist.
+func (s *Sim) recycle(e *event) {
+	e.fn = nil
+	e.idx = -1
+	e.gen++
+	s.free = append(s.free, e)
 }
 
 // Step executes the earliest pending event, advancing the clock to its
 // timestamp. It returns false if no events remain.
 func (s *Sim) Step() bool {
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(*event)
-		if e.cancelled {
-			continue
-		}
-		s.now = e.at
-		e.fn()
-		return true
+	if len(s.events) == 0 {
+		return false
 	}
-	return false
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	fn := e.fn
+	s.recycle(e)
+	fn()
+	return true
 }
 
 // Run executes all events with timestamps <= until, then advances the clock
 // to until.
 func (s *Sim) Run(until time.Duration) {
-	for s.events.Len() > 0 {
-		e := s.events[0]
-		if e.at > until {
+	for len(s.events) > 0 {
+		if s.events[0].at > until {
 			break
 		}
-		heap.Pop(&s.events)
-		if e.cancelled {
-			continue
-		}
+		e := heap.Pop(&s.events).(*event)
 		s.now = e.at
-		e.fn()
+		fn := e.fn
+		s.recycle(e)
+		fn()
 	}
 	if s.now < until {
 		s.now = until
@@ -106,13 +135,22 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
 func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.idx = -1
 	*h = old[:n-1]
 	return e
 }

@@ -165,6 +165,191 @@ func TestSameTimestampOrderDeterministic(t *testing.T) {
 	}
 }
 
+// lazyHeap is the reference implementation the indexed heap replaced:
+// cancellation only flags the event, and flagged events are skipped when
+// their timestamp pops. The property test below checks the indexed heap
+// fires the exact same sequence under random schedule/cancel interleavings.
+type lazyHeap struct {
+	now    time.Duration
+	events []*lazyEvent
+	seq    uint64
+}
+
+type lazyEvent struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+func (l *lazyHeap) schedule(d time.Duration, fn func()) func() {
+	if d < 0 {
+		d = 0
+	}
+	e := &lazyEvent{at: l.now + d, seq: l.seq, fn: fn}
+	l.seq++
+	l.events = append(l.events, e)
+	l.up(len(l.events) - 1)
+	return func() { e.cancelled = true }
+}
+
+func (l *lazyHeap) less(i, j int) bool {
+	if l.events[i].at != l.events[j].at {
+		return l.events[i].at < l.events[j].at
+	}
+	return l.events[i].seq < l.events[j].seq
+}
+
+func (l *lazyHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !l.less(i, p) {
+			break
+		}
+		l.events[i], l.events[p] = l.events[p], l.events[i]
+		i = p
+	}
+}
+
+func (l *lazyHeap) pop() *lazyEvent {
+	e := l.events[0]
+	n := len(l.events) - 1
+	l.events[0] = l.events[n]
+	l.events = l.events[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && l.less(c+1, c) {
+			c++
+		}
+		if l.less(i, c) {
+			break
+		}
+		l.events[i], l.events[c] = l.events[c], l.events[i]
+		i = c
+	}
+	return e
+}
+
+func (l *lazyHeap) runUntilIdle() {
+	for len(l.events) > 0 {
+		e := l.pop()
+		if e.cancelled {
+			continue
+		}
+		l.now = e.at
+		e.fn()
+	}
+}
+
+// TestIndexedHeapMatchesLazyHeap drives both implementations through the
+// same randomized schedule/cancel interleaving (including cancels issued
+// from inside callbacks and nested scheduling) and requires identical firing
+// sequences. This is the determinism contract of the rewrite: true removal
+// on cancel must never change the (at, seq) dispatch order.
+func TestIndexedHeapMatchesLazyHeap(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		run := func(schedule func(time.Duration, func()) func(), drain func()) []int {
+			script := rand.New(rand.NewSource(seed))
+			rng := rand.New(rand.NewSource(seed + 1000))
+			var order []int
+			var cancels []func()
+			var rec func(depth, id int) func()
+			rec = func(depth, id int) func() {
+				return func() {
+					order = append(order, id)
+					if depth < 2 && rng.Intn(3) == 0 {
+						c := schedule(time.Duration(rng.Intn(4))*time.Millisecond, rec(depth+1, id+10000))
+						cancels = append(cancels, c)
+					}
+					if len(cancels) > 0 && rng.Intn(3) == 0 {
+						cancels[rng.Intn(len(cancels))]()
+					}
+				}
+			}
+			for i := 0; i < 300; i++ {
+				c := schedule(time.Duration(script.Intn(10))*time.Millisecond, rec(0, i))
+				cancels = append(cancels, c)
+				if script.Intn(4) == 0 {
+					cancels[script.Intn(len(cancels))]()
+				}
+			}
+			drain()
+			return order
+		}
+		s := NewSim()
+		got := run(s.Schedule, s.RunUntilIdle)
+		l := &lazyHeap{}
+		want := run(l.schedule, l.runUntilIdle)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: dispatch diverges at %d: %d vs %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStaleCancelAfterReuse holds a cancel closure across its event firing
+// and a freelist reuse of the event struct: the stale cancel must not kill
+// the new incarnation.
+func TestStaleCancelAfterReuse(t *testing.T) {
+	s := NewSim()
+	stale := s.Schedule(time.Millisecond, func() {})
+	s.RunUntilIdle() // fires; the event struct goes to the freelist
+
+	fired := false
+	s.Schedule(time.Millisecond, func() { fired = true }) // reuses the struct
+	stale()                                               // must be a no-op
+	if s.Pending() != 1 {
+		t.Fatalf("stale cancel removed a live event: Pending=%d", s.Pending())
+	}
+	s.RunUntilIdle()
+	if !fired {
+		t.Fatal("event reusing a recycled struct did not fire")
+	}
+}
+
+// TestCancelRemovesImmediately verifies cancellation truly removes the event
+// rather than leaving a tombstone: the queue length drops at cancel time.
+func TestCancelRemovesImmediately(t *testing.T) {
+	s := NewSim()
+	var cancels []func()
+	for i := 0; i < 100; i++ {
+		cancels = append(cancels, s.Schedule(time.Hour, func() {}))
+	}
+	for i, c := range cancels {
+		c()
+		if got, want := s.Pending(), 100-i-1; got != want {
+			t.Fatalf("after %d cancels Pending=%d, want %d", i+1, got, want)
+		}
+	}
+}
+
+// TestScheduleFireAllocs pins the steady-state Schedule→fire allocation
+// budget: with the freelist warm, one Schedule+Step cycle allocates only the
+// returned cancel closure.
+func TestScheduleFireAllocs(t *testing.T) {
+	s := NewSim()
+	fn := func() {}
+	for i := 0; i < 64; i++ { // warm the freelist and the heap's backing array
+		s.Schedule(0, fn)
+	}
+	s.RunUntilIdle()
+	avg := testing.AllocsPerRun(1000, func() {
+		s.Schedule(time.Microsecond, fn)
+		s.Step()
+	})
+	if avg > 1.1 {
+		t.Fatalf("Schedule→fire allocates %.2f objects/op, want <= 1 (the cancel closure)", avg)
+	}
+}
+
 // TestCancelDuringDispatch cancels a same-timestamp event from inside an
 // earlier callback: the cancelled callback must never fire even though it
 // was already in the heap when its timestamp arrived.

@@ -5,7 +5,6 @@
 package topology
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -18,10 +17,22 @@ type Edge struct {
 }
 
 // Graph is an undirected IP-layer graph with latency-weighted links.
+// An edge-set index keyed on the node pair makes AddEdge/HasEdge O(1), so
+// construction of an n-node graph is O(n + m) instead of O(n·m·deg).
 type Graph struct {
-	n   int
-	adj [][]Edge
-	m   int // number of undirected edges
+	n     int
+	adj   [][]Edge
+	m     int // number of undirected edges
+	edges map[uint64]struct{}
+}
+
+// pairKey packs an unordered node pair into one map key. Node indices are
+// bounded well below 2^32 (the paper tops out at 10,000).
+func pairKey(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
 }
 
 // NewGraph returns an empty graph with n nodes and no links.
@@ -29,7 +40,7 @@ func NewGraph(n int) *Graph {
 	if n < 0 {
 		panic(fmt.Sprintf("topology: negative node count %d", n))
 	}
-	return &Graph{n: n, adj: make([][]Edge, n)}
+	return &Graph{n: n, adj: make([][]Edge, n), edges: make(map[uint64]struct{})}
 }
 
 // N returns the number of nodes.
@@ -44,9 +55,11 @@ func (g *Graph) AddEdge(u, v int, latency float64) {
 	if u == v {
 		return
 	}
-	if g.HasEdge(u, v) {
+	key := pairKey(u, v)
+	if _, dup := g.edges[key]; dup {
 		return
 	}
+	g.edges[key] = struct{}{}
 	g.adj[u] = append(g.adj[u], Edge{To: v, Latency: latency})
 	g.adj[v] = append(g.adj[v], Edge{To: u, Latency: latency})
 	g.m++
@@ -54,17 +67,8 @@ func (g *Graph) AddEdge(u, v int, latency float64) {
 
 // HasEdge reports whether an undirected link between u and v exists.
 func (g *Graph) HasEdge(u, v int) bool {
-	// Scan the smaller adjacency list.
-	a, b := u, v
-	if len(g.adj[b]) < len(g.adj[a]) {
-		a, b = b, a
-	}
-	for _, e := range g.adj[a] {
-		if e.To == b {
-			return true
-		}
-	}
-	return false
+	_, ok := g.edges[pairKey(u, v)]
+	return ok
 }
 
 // Degree returns the number of links incident to u.
@@ -78,24 +82,126 @@ func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
 // Unreachable nodes get +Inf.
 func (g *Graph) Dijkstra(src int) []float64 {
 	dist := make([]float64, g.n)
+	var h nodeHeap
+	g.dijkstraInto(src, dist, &h)
+	return dist
+}
+
+// dijkstraInto runs Dijkstra from src into dist (len g.n), reusing h's
+// backing arrays. The indexed heap supports decrease-key, so the queue never
+// holds stale duplicates: exactly one pop per reachable node, which is what
+// makes the overlay's thousand-source batch fast.
+func (g *Graph) dijkstraInto(src int, dist []float64, h *nodeHeap) {
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
 	dist[src] = 0
-	pq := &distHeap{{node: src, dist: 0}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(distItem)
-		if it.dist > dist[it.node] {
-			continue
-		}
-		for _, e := range g.adj[it.node] {
-			if nd := it.dist + e.Latency; nd < dist[e.To] {
+	h.init(g.n)
+	h.update(dist, int32(src))
+	for len(h.nodes) > 0 {
+		u := h.pop(dist)
+		du := dist[u]
+		for _, e := range g.adj[u] {
+			if nd := du + e.Latency; nd < dist[e.To] {
 				dist[e.To] = nd
-				heap.Push(pq, distItem{node: e.To, dist: nd})
+				h.update(dist, int32(e.To))
 			}
 		}
 	}
-	return dist
+}
+
+// PairDistances computes the shortest-path latency between every pair of the
+// given nodes in one batched pass: one Dijkstra per source, with the dist
+// vector and heap storage reused across sources. Row i holds the distances
+// from nodes[i] to every nodes[j]. This is the overlay builder's
+// peer-latency pass; at the paper's scale (1,000 peers over 10,000 IP nodes)
+// buffer reuse keeps the pass allocation-flat.
+func (g *Graph) PairDistances(nodes []int) [][]float64 {
+	out := make([][]float64, len(nodes))
+	dist := make([]float64, g.n)
+	var h nodeHeap
+	for i, src := range nodes {
+		g.dijkstraInto(src, dist, &h)
+		row := make([]float64, len(nodes))
+		for j, dst := range nodes {
+			row[j] = dist[dst]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// nodeHeap is an indexed binary min-heap of graph nodes keyed by their
+// current tentative distance. pos tracks each node's heap slot so a
+// relaxation does an in-place decrease-key (sift-up) instead of pushing a
+// stale duplicate — the queue is bounded by the node count and every node is
+// popped at most once.
+type nodeHeap struct {
+	nodes []int32
+	pos   []int32 // node -> heap slot, -1 when absent
+}
+
+func (h *nodeHeap) init(n int) {
+	if cap(h.pos) < n {
+		h.pos = make([]int32, n)
+	}
+	h.pos = h.pos[:n]
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	h.nodes = h.nodes[:0]
+}
+
+// update inserts v or restores heap order after v's key decreased.
+func (h *nodeHeap) update(dist []float64, v int32) {
+	i := h.pos[v]
+	if i < 0 {
+		i = int32(len(h.nodes))
+		h.nodes = append(h.nodes, v)
+		h.pos[v] = i
+	}
+	for i > 0 {
+		p := (i - 1) / 2
+		if dist[h.nodes[p]] <= dist[h.nodes[i]] {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+// pop removes and returns the node with the smallest tentative distance.
+func (h *nodeHeap) pop(dist []float64) int32 {
+	top := h.nodes[0]
+	h.pos[top] = -1
+	n := len(h.nodes) - 1
+	if n > 0 {
+		h.nodes[0] = h.nodes[n]
+		h.pos[h.nodes[0]] = 0
+	}
+	h.nodes = h.nodes[:n]
+	i := int32(0)
+	for {
+		c := 2*i + 1
+		if int(c) >= n {
+			break
+		}
+		if int(c+1) < n && dist[h.nodes[c+1]] < dist[h.nodes[c]] {
+			c++
+		}
+		if dist[h.nodes[i]] <= dist[h.nodes[c]] {
+			break
+		}
+		h.swap(i, c)
+		i = c
+	}
+	return top
+}
+
+func (h *nodeHeap) swap(i, j int32) {
+	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+	h.pos[h.nodes[i]] = i
+	h.pos[h.nodes[j]] = j
 }
 
 // IsConnected reports whether every node is reachable from node 0.
@@ -136,18 +242,52 @@ type distItem struct {
 	dist float64
 }
 
-type distHeap []distItem
+// distPQ is a concrete binary min-heap of distItems. It replaces
+// container/heap, whose interface{}-typed Push boxes every item onto the
+// garbage-collected heap — at one allocation per edge relaxation that
+// dominated the topology construction profile.
+type distPQ struct {
+	items []distItem
+}
 
-func (h distHeap) Len() int            { return len(h) }
-func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
-func (h *distHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (pq *distPQ) len() int { return len(pq.items) }
+
+func (pq *distPQ) reset() { pq.items = pq.items[:0] }
+
+func (pq *distPQ) push(it distItem) {
+	pq.items = append(pq.items, it)
+	i := len(pq.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if pq.items[p].dist <= pq.items[i].dist {
+			break
+		}
+		pq.items[p], pq.items[i] = pq.items[i], pq.items[p]
+		i = p
+	}
+}
+
+func (pq *distPQ) pop() distItem {
+	top := pq.items[0]
+	n := len(pq.items) - 1
+	pq.items[0] = pq.items[n]
+	pq.items = pq.items[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && pq.items[c+1].dist < pq.items[c].dist {
+			c++
+		}
+		if pq.items[i].dist <= pq.items[c].dist {
+			break
+		}
+		pq.items[i], pq.items[c] = pq.items[c], pq.items[i]
+		i = c
+	}
+	return top
 }
 
 // GeneratePowerLaw builds a connected power-law graph with n nodes using
@@ -173,14 +313,15 @@ func GeneratePowerLaw(n, m int, minLat, maxLat float64, rng *rand.Rand) *Graph {
 	}
 	// targets holds one entry per edge endpoint, so uniform sampling from it
 	// is degree-proportional sampling.
-	var targets []int
+	targets := make([]int, 0, 2*(m*(m+1)/2+(n-m-1)*m))
 	for u := 0; u <= m; u++ {
 		for i := 0; i < g.Degree(u); i++ {
 			targets = append(targets, u)
 		}
 	}
+	scratch := make([]int, 0, m)
 	for u := m + 1; u < n; u++ {
-		for _, v := range pickPreferential(targets, m, u, rng) {
+		for _, v := range pickPreferential(targets, m, u, rng, scratch) {
 			g.AddEdge(u, v, lat())
 			targets = append(targets, u, v)
 		}
@@ -191,14 +332,41 @@ func GeneratePowerLaw(n, m int, minLat, maxLat float64, rng *rand.Rand) *Graph {
 // pickPreferential samples m distinct nodes (none equal to exclude) from
 // targets, where each node appears once per incident edge endpoint, so the
 // draw is degree-proportional. The result order is the draw order, keeping
-// generation deterministic for a given rand stream.
-func pickPreferential(targets []int, m, exclude int, rng *rand.Rand) []int {
-	chosen := make([]int, 0, m)
-	seen := make(map[int]bool, m)
-	for len(chosen) < m {
+// generation deterministic for a given rand stream. Rejection sampling is
+// bounded: once the miss budget is spent (a targets multiset saturated by
+// the excluded node or already-chosen entries would otherwise spin forever)
+// the remainder is filled by a deterministic scan. The returned slice aliases
+// scratch when provided.
+func pickPreferential(targets []int, m, exclude int, rng *rand.Rand, scratch []int) []int {
+	chosen := scratch[:0]
+	if chosen == nil {
+		chosen = make([]int, 0, m)
+	}
+	picked := func(v int) bool {
+		for _, c := range chosen {
+			if c == v {
+				return true
+			}
+		}
+		return false
+	}
+	// Generous miss budget: outside degenerate inputs the loop behaves
+	// exactly like unbounded rejection sampling, so the RNG stream — and
+	// with it every generated topology — is unchanged in practice.
+	misses, missBudget := 0, 16*len(targets)+64
+	for len(chosen) < m && misses < missBudget {
 		v := targets[rng.Intn(len(targets))]
-		if v != exclude && !seen[v] {
-			seen[v] = true
+		if v != exclude && !picked(v) {
+			chosen = append(chosen, v)
+		} else {
+			misses++
+		}
+	}
+	for _, v := range targets { // fallback scan; usually already satisfied
+		if len(chosen) >= m {
+			break
+		}
+		if v != exclude && !picked(v) {
 			chosen = append(chosen, v)
 		}
 	}

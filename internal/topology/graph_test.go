@@ -164,3 +164,101 @@ func TestDeterminismWithSeed(t *testing.T) {
 		}
 	}
 }
+
+// TestPickPreferentialSaturated drives the degenerate case that used to spin
+// forever: a targets multiset saturated by the excluded node. The bounded
+// rejection loop must terminate and the scan fallback must return whatever
+// distinct non-excluded nodes exist.
+func TestPickPreferentialSaturated(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Only the excluded node in targets: nothing to pick, but must return.
+	if got := pickPreferential([]int{7, 7, 7, 7}, 2, 7, rng, nil); len(got) != 0 {
+		t.Fatalf("picked %v from a fully excluded multiset", got)
+	}
+	// One distinct eligible node, m=3: returns just that node.
+	got := pickPreferential([]int{7, 7, 5, 7}, 3, 7, rng, nil)
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("got %v, want [5]", got)
+	}
+	// Two eligible nodes, m=2: both, no duplicates.
+	got = pickPreferential([]int{1, 1, 1, 2, 3, 3}, 2, 1, rng, nil)
+	if len(got) != 2 || got[0] == got[1] {
+		t.Fatalf("got %v, want two distinct nodes", got)
+	}
+	for _, v := range got {
+		if v == 1 {
+			t.Fatalf("picked the excluded node: %v", got)
+		}
+	}
+}
+
+// TestTinyPowerLawTerminates exercises the whole generator on graphs small
+// enough that every node is in everyone's exclusion shadow.
+func TestTinyPowerLawTerminates(t *testing.T) {
+	for n := 2; n < 8; n++ {
+		for m := 1; m < 4; m++ {
+			g := GeneratePowerLaw(n, m, 1, 5, rand.New(rand.NewSource(int64(n*10+m))))
+			if !g.IsConnected() {
+				t.Fatalf("n=%d m=%d: disconnected", n, m)
+			}
+		}
+	}
+}
+
+// TestEdgeIndexConsistency checks the O(1) edge set agrees with the
+// adjacency lists after randomized construction with duplicate attempts.
+func TestEdgeIndexConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewGraph(40)
+	for i := 0; i < 300; i++ {
+		g.AddEdge(rng.Intn(40), rng.Intn(40), 1+rng.Float64())
+	}
+	edges := 0
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Neighbors(u) {
+			if !g.HasEdge(u, e.To) || !g.HasEdge(e.To, u) {
+				t.Fatalf("adjacency edge %d-%d missing from index", u, e.To)
+			}
+			edges++
+		}
+	}
+	if edges != 2*g.M() {
+		t.Fatalf("adjacency lists hold %d half-edges, M=%d", edges, g.M())
+	}
+	for u := 0; u < g.N(); u++ {
+		if g.HasEdge(u, u) {
+			t.Fatalf("self-loop at %d", u)
+		}
+	}
+}
+
+// TestPairDistancesMatchesDijkstra checks the batched buffer-reusing pass
+// returns exactly what per-source Dijkstra returns.
+func TestPairDistancesMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := GeneratePowerLaw(300, 2, 1, 25, rng)
+	nodes := rng.Perm(g.N())[:50]
+	got := g.PairDistances(nodes)
+	for i, src := range nodes {
+		want := g.Dijkstra(src)
+		for j, dst := range nodes {
+			if got[i][j] != want[dst] {
+				t.Fatalf("PairDistances[%d][%d]=%v, Dijkstra=%v", i, j, got[i][j], want[dst])
+			}
+		}
+	}
+}
+
+// BenchmarkGeneratePaperScale is the acceptance benchmark for the paper's
+// dimensions: a 10,000-node power-law IP graph plus a 1,000-peer overlay
+// (one Dijkstra per peer) must complete in seconds.
+func BenchmarkGeneratePaperScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(1))
+		g := GeneratePowerLaw(10000, 2, 2, 30, rng)
+		ov := BuildOverlay(g, OverlayConfig{NumPeers: 1000, Degree: 4}, rng)
+		if ov.N() != 1000 {
+			b.Fatal("bad overlay")
+		}
+	}
+}

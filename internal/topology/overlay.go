@@ -1,7 +1,6 @@
 package topology
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -56,10 +55,11 @@ type Path struct {
 // streams travel on; control messages between any two peers use the direct
 // IP-layer latency.
 type Overlay struct {
-	peerIP []int
-	lat    [][]float64 // pairwise peer latency over IP shortest paths
-	links  []overlayLink
-	adj    [][]int // per-peer incident link indices
+	peerIP  []int
+	lat     [][]float64 // pairwise peer latency over IP shortest paths
+	links   []overlayLink
+	adj     [][]int             // per-peer incident link indices
+	linkSet map[uint64]struct{} // unordered peer pairs with a link, for O(1) hasLink
 
 	capMin, capMax float64 // link capacity range, for peers added later
 
@@ -97,31 +97,22 @@ func BuildOverlay(g *Graph, cfg OverlayConfig, rng *rand.Rand) *Overlay {
 	n := cfg.NumPeers
 	o := &Overlay{
 		peerIP:     rng.Perm(g.N())[:n],
-		lat:        make([][]float64, n),
 		adj:        make([][]int, n),
+		linkSet:    make(map[uint64]struct{}),
 		capMin:     cfg.CapMin,
 		capMax:     cfg.CapMax,
 		routeCache: make(map[int]routeTable),
 	}
-	// Pairwise peer latency via one Dijkstra per peer over the IP graph.
-	ipIndex := make(map[int]int, n) // IP node -> peer index
-	for p, ip := range o.peerIP {
-		ipIndex[ip] = p
-	}
-	for p, ip := range o.peerIP {
-		dist := g.Dijkstra(ip)
-		row := make([]float64, n)
-		for q, ipq := range o.peerIP {
-			row[q] = dist[ipq]
-		}
-		o.lat[p] = row
-	}
+	// Pairwise peer latency over IP shortest paths, computed in one batched
+	// pass that reuses the Dijkstra buffers across sources.
+	o.lat = g.PairDistances(o.peerIP)
 
 	cap := func() float64 { return cfg.CapMin + rng.Float64()*(cfg.CapMax-cfg.CapMin) }
 	addLink := func(u, v int) {
 		if u == v || o.hasLink(u, v) {
 			return
 		}
+		o.linkSet[pairKey(u, v)] = struct{}{}
 		idx := len(o.links)
 		c := cap()
 		o.links = append(o.links, overlayLink{u: u, v: v, latency: o.lat[u][v], capacity: c, avail: c})
@@ -160,7 +151,7 @@ func BuildOverlay(g *Graph, cfg OverlayConfig, rng *rand.Rand) *Overlay {
 			}
 		}
 		for u := m + 1; u < n; u++ {
-			for _, v := range pickPreferential(targets, m, u, rng) {
+			for _, v := range pickPreferential(targets, m, u, rng, nil) {
 				addLink(u, v)
 				targets = append(targets, u, v)
 			}
@@ -179,13 +170,8 @@ func BuildOverlay(g *Graph, cfg OverlayConfig, rng *rand.Rand) *Overlay {
 }
 
 func (o *Overlay) hasLink(u, v int) bool {
-	for _, idx := range o.adj[u] {
-		l := o.links[idx]
-		if l.u == v || l.v == v {
-			return true
-		}
-	}
-	return false
+	_, ok := o.linkSet[pairKey(u, v)]
+	return ok
 }
 
 // N returns the number of peers.
@@ -239,6 +225,7 @@ func (o *Overlay) AddPeer(g *Graph, ip, degree int, rng *rand.Rand) int {
 		if o.hasLink(n, v) {
 			continue
 		}
+		o.linkSet[pairKey(n, v)] = struct{}{}
 		idx := len(o.links)
 		c := o.capMin + rng.Float64()*(o.capMax-o.capMin)
 		o.links = append(o.links, overlayLink{u: n, v: v, latency: row[v], capacity: c, avail: c})
@@ -264,14 +251,22 @@ func (o *Overlay) Route(a, b int) (Path, bool) {
 	if math.IsInf(rt.dist[b], 1) {
 		return Path{}, false
 	}
-	var peers, links []int
+	// Walk the predecessor chain once to size the path exactly, then fill
+	// backward: two right-sized allocations instead of append-grow + reverse.
+	// Route is the hottest call in probe forwarding, so this matters.
+	hops := 0
 	for at := b; at != a; at = rt.prevPeer[at] {
-		peers = append(peers, at)
-		links = append(links, rt.prevLink[at])
+		hops++
 	}
-	peers = append(peers, a)
-	reverseInts(peers)
-	reverseInts(links)
+	peers := make([]int, hops+1)
+	links := make([]int, hops)
+	i := hops
+	for at := b; at != a; at = rt.prevPeer[at] {
+		peers[i] = at
+		links[i-1] = rt.prevLink[at]
+		i--
+	}
+	peers[0] = a
 	return Path{Peers: peers, Links: links, Latency: rt.dist[b]}, true
 }
 
@@ -288,9 +283,10 @@ func (o *Overlay) dijkstra(src int) routeTable {
 		rt.prevLink[i] = -1
 	}
 	rt.dist[src] = 0
-	pq := &distHeap{{node: src, dist: 0}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(distItem)
+	var pq distPQ
+	pq.push(distItem{node: src, dist: 0})
+	for pq.len() > 0 {
+		it := pq.pop()
 		if it.dist > rt.dist[it.node] {
 			continue
 		}
@@ -304,7 +300,7 @@ func (o *Overlay) dijkstra(src int) routeTable {
 				rt.dist[to] = nd
 				rt.prevPeer[to] = it.node
 				rt.prevLink[to] = idx
-				heap.Push(pq, distItem{node: to, dist: nd})
+				pq.push(distItem{node: to, dist: nd})
 			}
 		}
 	}
@@ -348,12 +344,6 @@ func (o *Overlay) ReleaseBandwidth(p Path, bw float64) {
 
 // LinkCapacity returns the total capacity of overlay link idx in kbps.
 func (o *Overlay) LinkCapacity(idx int) float64 { return o.links[idx].capacity }
-
-func reverseInts(s []int) {
-	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
-		s[i], s[j] = s[j], s[i]
-	}
-}
 
 // WideAreaLatencies builds an n×n one-way latency matrix (milliseconds)
 // shaped like a wide-area deployment across a few geographic clusters

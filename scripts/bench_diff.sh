@@ -1,0 +1,62 @@
+#!/bin/sh
+# bench_diff.sh — compare two BENCH_*.json files produced by
+# `spiderbench -bench` and report per-op regressions.
+#
+# Usage: bench_diff.sh [-t tolerance] OLD.json NEW.json
+#
+#   -t tolerance   fractional slowdown allowed before an op counts as a
+#                  regression (default 0.15 = 15%). Applied to both ns/op
+#                  and allocs/op.
+#
+# Only ops present in both files are compared; ops that appear or disappear
+# are listed informationally. Exit status is 1 if any common op regressed
+# beyond the tolerance, 0 otherwise. Improvements are printed but never fail.
+set -eu
+
+tol=0.15
+while getopts t: opt; do
+    case "$opt" in
+    t) tol="$OPTARG" ;;
+    *) echo "usage: $0 [-t tolerance] OLD.json NEW.json" >&2; exit 2 ;;
+    esac
+done
+shift $((OPTIND - 1))
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 [-t tolerance] OLD.json NEW.json" >&2
+    exit 2
+fi
+old="$1"
+new="$2"
+for f in "$old" "$new"; do
+    [ -r "$f" ] || { echo "bench_diff: cannot read $f" >&2; exit 2; }
+done
+
+command -v jq > /dev/null || { echo "bench_diff: jq not found" >&2; exit 2; }
+
+# Flatten both files to "op ns_per_op allocs_per_op" lines.
+flat() {
+    jq -r '.results[] | "\(.op) \(.ns_per_op) \(.allocs_per_op)"' "$1"
+}
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+flat "$old" | sort > "$tmp/old"
+flat "$new" | sort > "$tmp/new"
+
+join "$tmp/old" "$tmp/new" > "$tmp/common"
+join -v1 "$tmp/old" "$tmp/new" | awk '{print "  only in old: " $1}'
+join -v2 "$tmp/old" "$tmp/new" | awk '{print "  only in new: " $1}'
+
+awk -v tol="$tol" '
+function pct(o, n) { return o > 0 ? (n - o) * 100.0 / o : 0 }
+{
+    op = $1; ons = $2; oal = $3; nns = $4; nal = $5
+    dns = pct(ons, nns); dal = pct(oal, nal)
+    flag = ""
+    if (nns > ons * (1 + tol) || nal > oal * (1 + tol)) { flag = "  REGRESSION"; bad = 1 }
+    printf "%-20s ns/op %12.0f -> %12.0f (%+6.1f%%)   allocs/op %6.0f -> %6.0f (%+6.1f%%)%s\n",
+        op, ons, nns, dns, oal, nal, dal, flag
+}
+END { exit bad ? 1 : 0 }
+' "$tmp/common"

@@ -45,4 +45,28 @@ echo "== chaos gate (loss=0.2, dup=0.05, jitter=10ms)"
     -faults "loss=0.2,dup=0.05,jitter=10ms,seed=3" -check -trace "$tmp/f2.jsonl" > /dev/null
 cmp "$tmp/f1.jsonl" "$tmp/f2.jsonl"
 
+# Parallel-runner gate: the figure pipeline must produce byte-identical
+# tables and traces at any worker count.
+echo "== parallel determinism gate"
+go build -o "$tmp/spiderbench" ./cmd/spiderbench
+"$tmp/spiderbench" -fig 11 -parallel 1 -trace "$tmp/p1.jsonl" > "$tmp/p1.txt" 2> /dev/null
+"$tmp/spiderbench" -fig 11 -parallel 8 -trace "$tmp/p8.jsonl" > "$tmp/p8.txt" 2> /dev/null
+cmp "$tmp/p1.txt" "$tmp/p8.txt"
+cmp "$tmp/p1.jsonl" "$tmp/p8.jsonl"
+
+# Advisory bench step: compare a fresh microbenchmark run against the newest
+# committed BENCH_*.json baseline. Never fails the gate — benchmark noise on
+# shared CI hardware is not a correctness signal — but prints regressions so
+# a real slowdown is visible in the log.
+echo "== bench diff vs committed baseline (advisory)"
+baseline="$(ls BENCH_*.json 2> /dev/null | sort | tail -1 || true)"
+if [ -n "$baseline" ] && command -v jq > /dev/null; then
+    "$tmp/spiderbench" -bench -benchdir "$tmp" 2> /dev/null
+    fresh="$(ls "$tmp"/BENCH_*.json | sort | tail -1)"
+    scripts/bench_diff.sh -t 0.25 "$baseline" "$fresh" || \
+        echo "bench: regressions above 25% tolerance (advisory only)"
+else
+    echo "bench: skipped (no baseline or no jq)"
+fi
+
 echo "== ci ok"
