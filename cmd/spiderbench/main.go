@@ -8,6 +8,7 @@
 //	spiderbench -fig 9 -paper     # Figure 9 at the paper's dimensions
 //	spiderbench -fig 10           # wide-area setup time (live runtime)
 //	spiderbench -fig 11           # delay vs probing budget
+//	spiderbench -fig scale        # offered-load sweep, load-blind vs load-aware
 //	spiderbench -fig overhead     # BCP vs centralized overhead
 //	spiderbench -fig all
 //	spiderbench -bench            # microbenchmarks -> BENCH_<timestamp>.json
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 10, 11, overhead, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 10, 11, scale, overhead, all")
 	paper := flag.Bool("paper", false, "use the paper's full dimensions (slow)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
@@ -208,6 +209,22 @@ func main() {
 			writeCSV("fig11", res.Table)
 		})
 	}
+	if want("scale") {
+		ran = true
+		run("Scale (offered load sweep)", func() {
+			cfg := experiment.DefaultScaleConfig()
+			if *paper {
+				cfg = experiment.PaperScaleConfig()
+			}
+			cfg.Seed = *seed
+			cfg.Trace = trace
+			cfg.Counters = reg
+			cfg.Parallel = *parallel
+			res := experiment.Scale(cfg)
+			res.Table.Render(os.Stdout)
+			writeCSV("scale", res.Table)
+		})
+	}
 	if want("overhead") {
 		ran = true
 		run("Overhead comparison", func() {
@@ -225,7 +242,7 @@ func main() {
 		})
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q; want 8, 9, 10, 11, overhead, or all\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q; want 8, 9, 10, 11, scale, overhead, or all\n", *fig)
 		os.Exit(2)
 	}
 	if tf != nil {

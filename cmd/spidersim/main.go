@@ -27,6 +27,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/p2p"
+	"repro/internal/qos"
 	"repro/internal/recovery"
 	"repro/internal/simnet"
 	"repro/internal/spec"
@@ -55,6 +56,8 @@ func run() error {
 		dagProb   = flag.Float64("dag", 0.2, "probability of DAG-shaped requests")
 		commute   = flag.Float64("commute", 0.2, "probability of commutation links")
 		faults    = flag.String("faults", "", "fault spec, e.g. loss=0.05,dup=0.01,jitter=20ms,partition=10s@30s,seed=3")
+		loadBase  = flag.Duration("load", 0, "enable the overload control plane: per-peer processing delay base (M/M/1 inflation with utilization); 0 = off")
+		shed      = flag.Float64("shed", 0.8, "with -load: utilization threshold at which peers shed probes (0 disables shedding)")
 		specFile  = flag.String("spec", "", "compose a single request from a QoSTalk-style XML spec file")
 		traceFile = flag.String("trace", "", "write a deterministic JSONL event trace to this file (.gz compresses)")
 		stats     = flag.Bool("stats", false, "print per-layer counter tables, histograms, and a trace summary")
@@ -126,12 +129,21 @@ func run() error {
 		bcpCfg.ProbeRetries = 2
 		recCfg.MissedPongs = 3
 	}
+	var loadOpts *cluster.LoadOptions
+	if *loadBase > 0 {
+		loadOpts = &cluster.LoadOptions{
+			Model: qos.LoadModel{Base: *loadBase, Cap: 0.95},
+			Aware: true,
+			Shed:  *shed,
+		}
+	}
 	c := cluster.New(cluster.Options{
 		Seed:     *seed,
 		IPNodes:  *ipNodes,
 		Peers:    *peers,
 		Catalog:  catalog(*functions),
 		BCP:      bcpCfg,
+		Load:     loadOpts,
 		Recovery: &recCfg,
 		Trace:    trace,
 		Obs:      reg,

@@ -71,6 +71,23 @@ type Config struct {
 	ProbeAckTimeout time.Duration
 	// ProbeRetries caps retransmits per transmission when hardening is on.
 	ProbeRetries int
+	// LoadAware folds each candidate peer's current utilization into the
+	// composite next-hop metric and makes optimal composition selection
+	// penalize graphs through loaded peers (the overload control plane).
+	// Needs the engine's Load oracle wired; off by default, preserving
+	// load-blind traces byte for byte.
+	LoadAware bool
+	// ShedThreshold, when positive, is the utilization at or above which a
+	// peer sheds load: it declines probe soft-allocation (the probe dies
+	// with reason "shed" instead of queueing) and peers that can see its
+	// load prune it from next-hop candidate lists. Zero disables shedding.
+	ShedThreshold float64
+	// LoadModel, when its Base is positive, is the processing-delay model
+	// the deployment runs under. Load-aware next-hop scoring uses it to
+	// charge each candidate its predicted queueing delay in the same units
+	// as path latency; with a zero model the scoring falls back to a flat
+	// utilization weight.
+	LoadModel qos.LoadModel
 	// DisableCommutation turns off pattern exploration (ablation).
 	DisableCommutation bool
 	// RandomNextHop replaces the composite next-hop selection metric with a
@@ -162,6 +179,11 @@ type Engine struct {
 	Trust TrustOracle
 	// MinTrust is the exclusion threshold used when Trust is set.
 	MinTrust float64
+	// Load, when non-nil, reports peers' current utilization for the
+	// overload control plane: load-aware next-hop scoring (cfg.LoadAware)
+	// and overloaded-candidate pruning (cfg.ShedThreshold). The simulation
+	// backs it with the cluster's ledger view.
+	Load LoadOracle
 	// Trace, when non-nil, receives the probe-lifecycle and session-setup
 	// events of every request this engine touches. Nil (the default)
 	// disables tracing at the cost of one pointer check per site.
@@ -194,6 +216,20 @@ type Engine struct {
 // Implemented by internal/trust.Manager.
 type TrustOracle interface {
 	Score(p p2p.NodeID) float64
+}
+
+// LoadOracle reports a peer's current scalar utilization in [0,1].
+// Implemented by internal/cluster over the peers' ledgers; a live deployment
+// would gossip the figures alongside discovery metadata.
+//
+// Util is hard allocations over capacity — the processing load that actually
+// slows the peer down, which is what next-hop routing wants to predict.
+// Committed additionally counts outstanding soft reservations — the figure
+// the peer's own shedding decision uses, which is what candidate pruning
+// wants to predict.
+type LoadOracle interface {
+	Util(p p2p.NodeID) float64
+	Committed(p p2p.NodeID) float64
 }
 
 type softKey struct {
@@ -559,6 +595,13 @@ func (e *Engine) CommitSession(reqID uint64, compID string, res qos.Resources) b
 		e.ledger.Commit(res)
 		e.hard[key] = res
 		return true
+	}
+	// The soft reservation expired before the ACK arrived. A shedding peer
+	// declines this late direct admission just like it declines probes:
+	// without the gate, slow ACKs would push it past the threshold the
+	// overload plane promised to hold.
+	if e.cfg.ShedThreshold > 0 && e.ledger.CommittedUtilization() >= e.cfg.ShedThreshold {
+		return false
 	}
 	if !e.ledger.CommitDirect(res) {
 		return false

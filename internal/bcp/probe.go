@@ -2,6 +2,7 @@ package bcp
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/fgraph"
 	"repro/internal/obs"
@@ -92,6 +93,26 @@ func (e *Engine) onProbe(_ p2p.Node, msg p2p.Message) {
 		return
 	}
 
+	util := e.ledger.Utilization()
+	if e.Met != nil {
+		e.Met.PeerLoad.Observe(util)
+		e.Met.PeerLoadMax.SetMax(int64(util * 1000))
+	}
+	// Overload shedding: a peer past the threshold declines the probe
+	// outright instead of queueing work it will serve too slowly. The probe
+	// dies here with an accountable reason, so conservation still holds and
+	// the source's remaining probes (on other duplicates) carry the request.
+	// The threshold compares committed utilization (hard + soft) so that
+	// concurrent compositions racing through the probe→confirm window see
+	// each other's reservations.
+	if e.cfg.ShedThreshold > 0 && e.ledger.CommittedUtilization() >= e.cfg.ShedThreshold {
+		if e.Ctr != nil {
+			e.Ctr.ProbesShed.Add(1)
+		}
+		e.dropProbe(&pr, "shed")
+		return
+	}
+
 	// Step 2.1a: account the incoming service link and this component's
 	// performance quality, then check the user's accumulated QoS bounds.
 	lat, band, ok := e.oracle.Path(msg.From, e.host.ID())
@@ -120,7 +141,7 @@ func (e *Engine) onProbe(_ p2p.Node, msg p2p.Message) {
 	})
 	pr.Visited = append(pr.Visited, Hop{
 		Fn:   pr.CurFn,
-		Snap: service.Snapshot{Comp: comp, Avail: e.ledger.AvailableHard()},
+		Snap: service.Snapshot{Comp: comp, Avail: e.ledger.AvailableHard(), Util: util},
 	})
 
 	succs := pr.Pattern.Successors(pr.CurFn)
@@ -327,6 +348,9 @@ func (e *Engine) eligible(cands []service.Component, prevComp service.Component,
 		if e.Trust != nil && e.Trust.Score(c.Peer) < e.MinTrust {
 			continue // secure composition: skip distrusted hosts
 		}
+		if e.Load != nil && e.cfg.ShedThreshold > 0 && e.Load.Committed(c.Peer) >= e.cfg.ShedThreshold {
+			continue // overload shedding: the peer is declining new work
+		}
 		out = append(out, c)
 	}
 	return out
@@ -367,6 +391,20 @@ func (e *Engine) pickNextHop(cands []service.Component, k int, req *service.Requ
 		}
 		if e.Trust != nil {
 			score += (1 - e.Trust.Score(c.Peer)) * 5
+		}
+		if e.cfg.LoadAware && e.Load != nil {
+			// Load-aware probing: a saturated peer serves this session (and
+			// this very probe) at M/M/1-inflated latency. Charge each
+			// candidate its predicted queueing delay in the same units as
+			// path latency, so the trade is exactly "detour vs. queue": the
+			// convex model barely perturbs routing at moderate load but
+			// deflects probes hard off near-saturated peers.
+			u := e.Load.Util(c.Peer)
+			if e.cfg.LoadModel.Base > 0 {
+				score += float64(e.cfg.LoadModel.Delay(u)) / float64(50*time.Millisecond)
+			} else {
+				score += u * 3
+			}
 		}
 		ss[i] = scored{c: c, score: score}
 	}

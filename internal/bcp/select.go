@@ -80,10 +80,21 @@ func (e *Engine) finishCollect(reqID uint64) {
 		return
 	}
 	score := func(g *service.Graph) float64 {
+		var s float64
 		if e.SelectByDelay {
-			return g.QoS[qos.Delay]
+			s = g.QoS[qos.Delay]
+		} else {
+			s = g.Cost(e.Weights, req)
 		}
-		return g.Cost(e.Weights, req)
+		if e.cfg.LoadAware {
+			// Overload control: probes recorded each hop's utilization, and
+			// the hottest component bounds how slowly the session will run
+			// under the load-inflated processing model. Scaling the score by
+			// (1 + max utilization) steers selection toward cool graphs
+			// without distorting the load-blind default (off: factor 1).
+			s *= 1 + maxUtil(g)
+		}
+		return s
 	}
 	// Conditional-branch semantics: graphs instantiating the primary
 	// function graph rank before variant fallbacks; within a tier, lowest
@@ -124,6 +135,18 @@ func (e *Engine) finishCollect(reqID uint64) {
 		Type: MsgAck, To: best.Comps[order[0]].Comp.Peer, Size: 96,
 		Payload: am,
 	})
+}
+
+// maxUtil returns the highest probe-recorded utilization across the graph's
+// components, the load figure selection penalizes when LoadAware is on.
+func maxUtil(g *service.Graph) float64 {
+	var u float64
+	for _, s := range g.Comps {
+		if s.Util > u {
+			u = s.Util
+		}
+	}
+	return u
 }
 
 func reverseTopo(g *service.Graph) []int {

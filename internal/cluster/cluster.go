@@ -46,6 +46,11 @@ type Options struct {
 	FailProbMax float64
 	// BCP configures every peer's composition engine.
 	BCP bcp.Config
+	// Load, when non-nil, enables the overload control plane: every peer's
+	// probe handling and session traffic is slowed by the utilization-driven
+	// processing-delay model, and (per the option fields) BCP becomes
+	// load-aware and sheds work past a utilization threshold.
+	Load *LoadOptions
 	// DynamicJoin grows the DHT with serial joins instead of the static
 	// global-knowledge build.
 	DynamicJoin bool
@@ -66,6 +71,20 @@ type Options struct {
 	// Metrics, when non-nil, observes the online histograms (setup latency,
 	// probe hops/budget, DHT lookups, switchover duration, wire bytes).
 	Metrics *obs.Metrics
+}
+
+// LoadOptions configures the overload control plane on a deployment.
+type LoadOptions struct {
+	// Model is the per-peer processing-delay model: messages to a peer are
+	// delayed by Model.Delay(utilization) on top of the link latency. A zero
+	// Base disables the inflation; qos.DefaultLoadModel() is the standard.
+	Model qos.LoadModel
+	// Aware turns on load-aware next-hop selection and the selection-time
+	// load penalty (bcp.Config.LoadAware) on every engine.
+	Aware bool
+	// Shed is the overload-shedding utilization threshold
+	// (bcp.Config.ShedThreshold); zero disables shedding.
+	Shed float64
 }
 
 // Peer bundles one overlay node's protocol stack.
@@ -163,6 +182,26 @@ func New(opts Options) *Cluster {
 	c := &Cluster{Sim: sim, Net: net, IP: ip, Overlay: ov, Rng: rng, opts: o}
 	oracle := &overlayOracle{ov: ov}
 
+	if o.Load != nil {
+		o.BCP.LoadAware = o.Load.Aware
+		o.BCP.ShedThreshold = o.Load.Shed
+		o.BCP.LoadModel = o.Load.Model
+		c.opts = o // engines built below and by Join share the load-enabled config
+		if o.Load.Model.Base > 0 {
+			model := o.Load.Model
+			net.SetProcDelay(func(to p2p.NodeID, msgType string) time.Duration {
+				// Every message the peer processes queues behind its service
+				// sessions (the peer is one M/M/1 server): probe handling,
+				// DHT lookups routed through it, ACKs, media — all inflate
+				// with its utilization.
+				if i := int(to); i >= 0 && i < len(c.Peers) {
+					return model.Delay(c.Peers[i].Ledger.Utilization())
+				}
+				return 0
+			})
+		}
+	}
+
 	dhtNodes := make([]*dht.Node, o.Peers)
 	for i := 0; i < o.Peers; i++ {
 		host := net.AddNode(p2p.NodeID(i))
@@ -196,6 +235,9 @@ func New(opts Options) *Cluster {
 			})
 		}
 		eng := bcp.NewEngine(host, ledger, reg, oracle, comps, o.BCP)
+		if o.Load != nil {
+			eng.Load = loadOracle{c}
+		}
 		eng.Trace = o.Trace
 		dn.Trace = o.Trace
 		eng.Met = o.Metrics
@@ -291,6 +333,9 @@ func (c *Cluster) Join(components []string, bootstrap p2p.NodeID) *Peer {
 		})
 	}
 	eng := bcp.NewEngine(host, ledger, reg, c.Oracle(), comps, c.opts.BCP)
+	if c.opts.Load != nil {
+		eng.Load = loadOracle{c}
+	}
 	eng.Trace = c.opts.Trace
 	dn.Trace = c.opts.Trace
 	eng.Met = c.opts.Metrics
@@ -400,6 +445,25 @@ func (c *Cluster) FailFraction(frac float64) []p2p.NodeID {
 		}
 	}
 	return failed
+}
+
+// loadOracle exposes every peer's ledger utilization to BCP's load-aware
+// selection: hard utilization for routing (it drives processing delay),
+// committed utilization for shed prediction. Unknown peers read as idle.
+type loadOracle struct{ c *Cluster }
+
+func (lo loadOracle) Util(p p2p.NodeID) float64 {
+	if i := int(p); i >= 0 && i < len(lo.c.Peers) {
+		return lo.c.Peers[i].Ledger.Utilization()
+	}
+	return 0
+}
+
+func (lo loadOracle) Committed(p p2p.NodeID) float64 {
+	if i := int(p); i >= 0 && i < len(lo.c.Peers) {
+		return lo.c.Peers[i].Ledger.CommittedUtilization()
+	}
+	return 0
 }
 
 // overlayOracle adapts topology.Overlay to the bcp.Oracle interface.

@@ -1,0 +1,238 @@
+package experiment
+
+import (
+	"time"
+
+	"repro/internal/bcp"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/qos"
+	"repro/internal/workload"
+)
+
+// ScaleConfig parameterizes the offered-load scale experiment: the same
+// session schedule is replayed at increasing arrival rates against two
+// deployments that both pay utilization-driven processing delay, one with
+// load-blind and one with load-aware composition (§6-style sweep for the
+// overload control plane).
+type ScaleConfig struct {
+	Seed      int64
+	IPNodes   int
+	Peers     int
+	Functions int
+	// Loads lists the offered-load levels (sessions per time unit, x axis).
+	Loads []int
+	// TimeUnits is the number of workload time units simulated per level.
+	TimeUnits int
+	// TimeUnit is the simulated duration of one workload time unit.
+	TimeUnit time.Duration
+	// SessionLife is how long an admitted session holds its resources.
+	SessionLife time.Duration
+	// MinFuncs/MaxFuncs bound the function count per request.
+	MinFuncs, MaxFuncs int
+	// Capacity is the per-peer resource capacity (tightened so contention
+	// materializes inside the sweep).
+	Capacity qos.Resources
+	// DelayReqMin/Max bound the sampled end-to-end delay requirement (ms).
+	DelayReqMin, DelayReqMax float64
+	// Budget is the probing budget per request.
+	Budget int
+	// Model is the utilization-driven processing-delay model applied to both
+	// variants (zero Base would disable the inflation and make the variants
+	// indistinguishable).
+	Model qos.LoadModel
+	// Shed is the overload-shedding threshold the load-aware variant uses.
+	Shed float64
+	// Trace/Counters, when non-nil, are wired into every cluster.
+	Trace    obs.Tracer
+	Counters *obs.Registry
+	// Parallel is the worker count for the (load, variant) cells; <= 1 runs
+	// them serially. Results and traces are byte-identical at any count.
+	Parallel int
+}
+
+// DefaultScaleConfig returns the laptop-scale configuration.
+func DefaultScaleConfig() ScaleConfig {
+	// Capacity is loose enough that admission rarely binds: the sweep probes
+	// the processing-load regime, where hotspot queueing delay — not
+	// resource exhaustion — is what separates the variants.
+	var cap qos.Resources
+	cap[qos.CPU] = 12
+	cap[qos.Memory] = 120
+	return ScaleConfig{
+		Seed:        1,
+		IPNodes:     1000,
+		Peers:       100,
+		Functions:   24,
+		Loads:       []int{4, 8, 16, 24},
+		TimeUnits:   12,
+		TimeUnit:    time.Second,
+		SessionLife: 10 * time.Second,
+		MinFuncs:    2,
+		MaxFuncs:    3,
+		Capacity:    cap,
+		DelayReqMin: 150,
+		DelayReqMax: 400,
+		Budget:      6,
+		Model:       qos.LoadModel{Base: 20 * time.Millisecond, Cap: 0.95},
+		Shed:        0.8,
+	}
+}
+
+// PaperScaleConfig uses the paper's overlay dimensions (§6.1): a 10,000-node
+// IP network, 1,000 peers, 200 functions. Expect a long run.
+func PaperScaleConfig() ScaleConfig {
+	c := DefaultScaleConfig()
+	c.IPNodes = 10000
+	c.Peers = 1000
+	c.Functions = 200
+	c.Loads = []int{50, 100, 200, 400}
+	c.TimeUnits = 30
+	return c
+}
+
+// ScalePoint is one (offered load, variant) cell: composition success ratio,
+// setup-latency percentiles over successful sessions, and the spread of
+// per-peer peak utilization (the hotspot CDF).
+type ScalePoint struct {
+	Load    int
+	Aware   bool
+	Success float64
+	// SetupP50/P99 are setup-latency percentiles in ms over successful
+	// compositions (failures would only measure the collect timeout).
+	SetupP50, SetupP99 float64
+	// UtilP50/P90/Max summarize the distribution of each peer's peak
+	// utilization over the run.
+	UtilP50, UtilP90, UtilMax float64
+}
+
+// ScaleResult is the full sweep.
+type ScaleResult struct {
+	Points []ScalePoint
+	Table  *metrics.Table
+}
+
+// variants simulated by Scale.
+const (
+	scaleBlind = iota
+	scaleAware
+	numScaleVariants
+)
+
+// Scale sweeps offered load over the load-blind and load-aware variants.
+// Both variants pay the same utilization-driven processing delay; only the
+// aware one folds utilization into next-hop choice and graph selection and
+// sheds probes past the threshold, so any difference in the hotspot spread
+// and latency tail is attributable to the overload control plane.
+func Scale(cfg ScaleConfig) ScaleResult {
+	points := make([]ScalePoint, len(cfg.Loads)*numScaleVariants)
+	runCells(len(points), cfg.Parallel, cfg.Trace, func(i int, tracer obs.Tracer) {
+		points[i] = scaleRun(cfg, cfg.Loads[i/numScaleVariants], i%numScaleVariants == scaleAware, tracer)
+	})
+
+	var out ScaleResult
+	out.Points = points
+	t := metrics.NewTable("Scale: offered load sweep, load-blind vs. load-aware composition",
+		"load", "variant", "success", "setup p50 ms", "setup p99 ms",
+		"util p50", "util p90", "util max")
+	for _, p := range points {
+		variant := "blind"
+		if p.Aware {
+			variant = "aware"
+		}
+		t.AddRow(p.Load, variant, p.Success, p.SetupP50, p.SetupP99,
+			p.UtilP50, p.UtilP90, p.UtilMax)
+	}
+	out.Table = t
+	return out
+}
+
+// scaleRun replays one offered-load level through one variant. tracer is the
+// cell's trace destination (a private buffer under the parallel runner).
+func scaleRun(cfg ScaleConfig, perUnit int, aware bool, tracer obs.Tracer) ScalePoint {
+	// Short soft holds: losing-path reservations release only by expiry, and
+	// holds that linger inflate committed utilization and make the shedding
+	// plane refuse work the peer could serve. Late ACKs whose reservation
+	// expired fall back to the shed-gated direct admission.
+	bcpCfg := bcp.DefaultConfig()
+	bcpCfg.SoftTimeout = 2500 * time.Millisecond
+	load := cluster.LoadOptions{Model: cfg.Model}
+	if aware {
+		load.Aware = true
+		load.Shed = cfg.Shed
+	}
+	c := cluster.New(cluster.Options{
+		Seed:     cfg.Seed,
+		IPNodes:  cfg.IPNodes,
+		Peers:    cfg.Peers,
+		Catalog:  fnCatalog(cfg.Functions),
+		Capacity: cfg.Capacity,
+		BCP:      bcpCfg,
+		Load:     &load,
+		Trace:    tracer,
+		Obs:      cfg.Counters,
+	})
+	gen := workload.NewGenerator(workload.Config{
+		Catalog:     fnCatalog(cfg.Functions),
+		Peers:       cfg.Peers,
+		MinFuncs:    cfg.MinFuncs,
+		MaxFuncs:    cfg.MaxFuncs,
+		DelayReqMin: cfg.DelayReqMin,
+		DelayReqMax: cfg.DelayReqMax,
+	}, newRng(cfg.Seed+100))
+
+	var ratio metrics.Ratio
+	var setup metrics.Sample
+	arrivalRng := newRng(cfg.Seed + 200)
+	for unit := 0; unit < cfg.TimeUnits; unit++ {
+		for k := 0; k < perUnit; k++ {
+			req := gen.Next()
+			req.Budget = cfg.Budget
+			at := time.Duration(unit)*cfg.TimeUnit +
+				time.Duration(arrivalRng.Float64()*float64(cfg.TimeUnit))
+			c.Sim.Schedule(at-c.Sim.Now(), func() {
+				start := c.Sim.Now()
+				eng := c.Peers[int(req.Source)].Engine
+				eng.Compose(req, func(res bcp.Result) {
+					ratio.Add(res.Ok)
+					if res.Ok {
+						setup.AddDuration(c.Sim.Now() - start)
+						c.Sim.Schedule(cfg.SessionLife, func() { eng.Teardown(res.Best) })
+					}
+				})
+			})
+		}
+	}
+
+	// Sample every peer's utilization twice per time unit across arrivals
+	// plus the session drain, keeping each peer's peak (the hotspot figure).
+	peak := make([]float64, len(c.Peers))
+	horizon := time.Duration(cfg.TimeUnits)*cfg.TimeUnit + cfg.SessionLife
+	for at := time.Duration(0); at <= horizon; at += cfg.TimeUnit / 2 {
+		c.Sim.Schedule(at, func() {
+			for i, p := range c.Peers {
+				if u := p.Ledger.Utilization(); u > peak[i] {
+					peak[i] = u
+				}
+			}
+		})
+	}
+
+	c.Sim.Run(horizon + 30*time.Second)
+
+	var util metrics.Sample
+	for _, u := range peak {
+		util.Add(u)
+	}
+	return ScalePoint{
+		Load:     perUnit,
+		Aware:    aware,
+		Success:  ratio.Value(),
+		SetupP50: setup.Percentile(50),
+		SetupP99: setup.Percentile(99),
+		UtilP50:  util.Percentile(50),
+		UtilP90:  util.Percentile(90),
+		UtilMax:  util.Max(),
+	}
+}

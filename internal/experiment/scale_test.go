@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// scaleTestConfig is DefaultScaleConfig shrunk just enough to keep the test
+// quick while preserving the processing-load regime the sweep targets.
+func scaleTestConfig() ScaleConfig {
+	cfg := DefaultScaleConfig()
+	cfg.Loads = []int{4, 24}
+	return cfg
+}
+
+// TestScaleLoadAwareWinsUnderHeavyTraffic pins the experiment's headline
+// claim: at the highest offered load, the load-aware variant achieves a
+// strictly lower per-peer peak utilization (the hotspot), a strictly lower
+// p99 setup latency, and no worse success ratio than the load-blind one.
+func TestScaleLoadAwareWinsUnderHeavyTraffic(t *testing.T) {
+	res := Scale(scaleTestConfig())
+	var blind, aware *ScalePoint
+	top := 0
+	for _, p := range res.Points {
+		if p.Load > top {
+			top = p.Load
+		}
+	}
+	for i := range res.Points {
+		p := &res.Points[i]
+		if p.Load != top {
+			continue
+		}
+		if p.Aware {
+			aware = p
+		} else {
+			blind = p
+		}
+	}
+	if blind == nil || aware == nil {
+		t.Fatalf("missing variants at top load %d: %+v", top, res.Points)
+	}
+	t.Logf("top load %d: blind=%+v aware=%+v", top, *blind, *aware)
+	if aware.UtilMax >= blind.UtilMax {
+		t.Errorf("aware util max %.3f, want < blind %.3f", aware.UtilMax, blind.UtilMax)
+	}
+	if aware.SetupP99 >= blind.SetupP99 {
+		t.Errorf("aware setup p99 %.3f ms, want < blind %.3f ms", aware.SetupP99, blind.SetupP99)
+	}
+	if aware.Success < blind.Success {
+		t.Errorf("aware success %.3f, want >= blind %.3f", aware.Success, blind.Success)
+	}
+}
+
+// TestScaleShedsOnlyWhenAware checks the control plane stays opt-in: the
+// blind cells run the same delay model yet never shed a probe.
+func TestScaleShedsOnlyWhenAware(t *testing.T) {
+	cfg := scaleTestConfig()
+	cfg.Counters = obs.NewRegistry()
+	res := Scale(cfg)
+	tot := cfg.Counters.Totals()
+	if tot.ProbesShed == 0 {
+		t.Errorf("no probes shed across the sweep; shedding plane inert (points %+v)", res.Points)
+	}
+
+	blindOnly := scaleTestConfig()
+	blindOnly.Shed = 0
+	blindOnly.Counters = obs.NewRegistry()
+	Scale(blindOnly)
+	if n := blindOnly.Counters.Totals().ProbesShed; n != 0 {
+		t.Errorf("shed threshold 0 still shed %d probes", n)
+	}
+}
+
+// TestScaleDeterministicAcrossWorkers runs the identical sweep serially and
+// with several workers: points, rendered table, and the emitted trace must
+// be byte-identical.
+func TestScaleDeterministicAcrossWorkers(t *testing.T) {
+	cfg := scaleTestConfig()
+	run := func(parallel int) (ScaleResult, []obs.Event) {
+		c := cfg
+		c.Parallel = parallel
+		sink := &obs.MemSink{}
+		c.Trace = sink
+		return Scale(c), sink.Events()
+	}
+	serial, serialEv := run(1)
+	for _, workers := range []int{2, 4} {
+		par, parEv := run(workers)
+		if !reflect.DeepEqual(serial.Points, par.Points) {
+			t.Errorf("parallel=%d points differ:\nserial %+v\npar    %+v", workers, serial.Points, par.Points)
+		}
+		if serial.Table.String() != par.Table.String() {
+			t.Errorf("parallel=%d table differs:\n%s\nvs\n%s", workers, serial.Table, par.Table)
+		}
+		if !reflect.DeepEqual(serialEv, parEv) {
+			t.Errorf("parallel=%d trace differs: %d vs %d events", workers, len(serialEv), len(parEv))
+		}
+	}
+}

@@ -311,6 +311,17 @@ func (g *Gauge) Add(d int64) { g.v.Add(d) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// SetMax raises the gauge to v if v exceeds the current value (a running
+// high-water mark). Safe under concurrent observers.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Metrics is the online metrics plane: the standard distribution metrics
 // every runtime wires into its hot paths. All fields are always non-nil on
 // a Metrics built by NewMetrics; producers hold a possibly-nil *Metrics and
@@ -338,8 +349,15 @@ type Metrics struct {
 	// WireBytes is the approximate wire size of every message sent, in
 	// bytes.
 	WireBytes *Histogram
+	// PeerLoad is the utilization (in [0,1]) each peer observed on itself
+	// while handling a probe — the load distribution the overload control
+	// plane acts on.
+	PeerLoad *Histogram
 	// ActiveSessions counts sessions currently owned by recovery managers.
 	ActiveSessions *Gauge
+	// PeerLoadMax is the highest per-peer utilization seen anywhere, in
+	// permille (0..1000), a high-water mark for spotting hotspots.
+	PeerLoadMax *Gauge
 }
 
 // NewMetrics builds the standard metric set with its canonical boundaries.
@@ -353,7 +371,9 @@ func NewMetrics() *Metrics {
 		DHTLookup:        NewHistogram("dht_lookup_ms", "ms", latency),
 		Switchover:       NewHistogram("recovery_switchover_ms", "ms", latency),
 		WireBytes:        NewHistogram("wire_bytes", "bytes", ExpBounds(32, 2, 16)), // 32B .. 1MiB
+		PeerLoad:         NewHistogram("peer_load", "util", LinearBounds(0.05, 0.05, 20)),
 		ActiveSessions:   NewGauge("active_sessions"),
+		PeerLoadMax:      NewGauge("peer_load_max_permille"),
 	}
 }
 
@@ -362,13 +382,13 @@ func NewMetrics() *Metrics {
 func (m *Metrics) Histograms() []*Histogram {
 	return []*Histogram{
 		m.SetupLatency, m.DiscoveryLatency, m.ProbeHops, m.ProbeBudget,
-		m.DHTLookup, m.Switchover, m.WireBytes,
+		m.DHTLookup, m.Switchover, m.WireBytes, m.PeerLoad,
 	}
 }
 
 // Gauges lists every gauge in fixed declaration order.
 func (m *Metrics) Gauges() []*Gauge {
-	return []*Gauge{m.ActiveSessions}
+	return []*Gauge{m.ActiveSessions, m.PeerLoadMax}
 }
 
 // Table renders the non-empty histograms as a quantile summary table.

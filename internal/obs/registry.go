@@ -26,6 +26,7 @@ type NodeCounters struct {
 	ProbesReturned atomic.Int64 // completed probes reported to a destination
 	BudgetSpent    atomic.Int64 // probing budget carried by emitted probes
 	ProbesRetx     atomic.Int64 // per-hop probe retransmits (same PID, no budget)
+	ProbesShed     atomic.Int64 // probes declined by overload shedding (util over threshold)
 
 	DHTHops atomic.Int64 // DHT messages this node forwarded
 
@@ -44,6 +45,7 @@ func (c *NodeCounters) Snapshot() Counters {
 		ProbesReturned: c.ProbesReturned.Load(),
 		BudgetSpent:    c.BudgetSpent.Load(),
 		ProbesRetx:     c.ProbesRetx.Load(),
+		ProbesShed:     c.ProbesShed.Load(),
 		DHTHops:        c.DHTHops.Load(),
 		Faults:         c.Faults.Load(),
 	}
@@ -63,6 +65,7 @@ type Counters struct {
 	ProbesReturned int64
 	BudgetSpent    int64
 	ProbesRetx     int64
+	ProbesShed     int64
 
 	DHTHops int64
 
@@ -80,6 +83,7 @@ func (c *Counters) Add(o Counters) {
 	c.ProbesReturned += o.ProbesReturned
 	c.BudgetSpent += o.BudgetSpent
 	c.ProbesRetx += o.ProbesRetx
+	c.ProbesShed += o.ProbesShed
 	c.DHTHops += o.DHTHops
 	c.Faults += o.Faults
 }
@@ -162,6 +166,7 @@ func (r *Registry) Table(title string) *metrics.Table {
 	t.AddRow("probes returned", tot.ProbesReturned)
 	t.AddRow("probe budget spent", tot.BudgetSpent)
 	t.AddRow("probe retransmits", tot.ProbesRetx)
+	t.AddRow("probes shed", tot.ProbesShed)
 	t.AddRow("dht hops", tot.DHTHops)
 	t.AddRow("faults injected", tot.Faults)
 	return t

@@ -1,0 +1,151 @@
+package p2p_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/p2p"
+	"repro/internal/simnet"
+)
+
+// newPair builds a two-node simulated network for contract exercises.
+func newPair(t *testing.T) (*simnet.Sim, p2p.Node, p2p.Node, *simnet.Network) {
+	t.Helper()
+	sim := simnet.NewSim()
+	nw := simnet.NewNetwork(sim, simnet.ConstantLatency(10*time.Millisecond), rand.New(rand.NewSource(1)))
+	a := nw.AddNode(0)
+	b := nw.AddNode(1)
+	return sim, a, b, nw
+}
+
+func TestNoNodeIsInvalid(t *testing.T) {
+	if p2p.NoNode >= 0 {
+		t.Fatalf("NoNode = %d, must not collide with the dense non-negative ID space", p2p.NoNode)
+	}
+}
+
+// TestSendFillsFromAndDelivers pins the Node.Send contract: the runtime
+// stamps the sender's ID into From, delivery is asynchronous, and the
+// payload arrives intact at the registered handler.
+func TestSendFillsFromAndDelivers(t *testing.T) {
+	sim, a, b, _ := newPair(t)
+	var got []p2p.Message
+	b.Handle("test.ping", func(n p2p.Node, msg p2p.Message) {
+		if n.ID() != b.ID() {
+			t.Errorf("handler node = %d, want %d", n.ID(), b.ID())
+		}
+		got = append(got, msg)
+	})
+	a.Send(p2p.Message{Type: "test.ping", To: b.ID(), Payload: "hello", UID: 42})
+	if len(got) != 0 {
+		t.Fatalf("delivery was synchronous; Send must only enqueue")
+	}
+	sim.RunUntilIdle()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(got))
+	}
+	m := got[0]
+	if m.From != a.ID() {
+		t.Errorf("From = %d, want sender %d", m.From, a.ID())
+	}
+	if m.Payload != "hello" || m.UID != 42 {
+		t.Errorf("payload/UID corrupted in flight: %+v", m)
+	}
+}
+
+// TestHandleReplacesRegistration pins "replacing any previous registration".
+func TestHandleReplacesRegistration(t *testing.T) {
+	sim, a, b, _ := newPair(t)
+	var first, second int
+	b.Handle("test.m", func(p2p.Node, p2p.Message) { first++ })
+	b.Handle("test.m", func(p2p.Node, p2p.Message) { second++ })
+	a.Send(p2p.Message{Type: "test.m", To: b.ID()})
+	sim.RunUntilIdle()
+	if first != 0 || second != 1 {
+		t.Fatalf("old handler ran %d times, new %d; want 0 and 1", first, second)
+	}
+}
+
+// TestAfterOrderingAndCancel pins the timer contract: timers fire on the
+// node's clock in order, and CancelFunc stops an unfired timer but is a
+// harmless no-op afterwards.
+func TestAfterOrderingAndCancel(t *testing.T) {
+	sim, a, _, _ := newPair(t)
+	var fired []string
+	a.After(20*time.Millisecond, func() { fired = append(fired, "late") })
+	a.After(5*time.Millisecond, func() { fired = append(fired, "early") })
+	cancel := a.After(10*time.Millisecond, func() { fired = append(fired, "cancelled") })
+	cancel()
+	cancel() // double-cancel must be a no-op
+	sim.RunUntilIdle()
+	if len(fired) != 2 || fired[0] != "early" || fired[1] != "late" {
+		t.Fatalf("fired = %v, want [early late]", fired)
+	}
+	if sim.Now() < 20*time.Millisecond {
+		t.Fatalf("clock did not advance past the last timer: %v", sim.Now())
+	}
+}
+
+// TestClockAdvancesOnlyWithEvents pins Now(): virtual time moves with the
+// event loop, not with wall time.
+func TestClockAdvancesOnlyWithEvents(t *testing.T) {
+	sim, a, _, _ := newPair(t)
+	if a.Now() != 0 {
+		t.Fatalf("fresh runtime clock = %v, want 0", a.Now())
+	}
+	a.After(time.Second, func() {})
+	sim.RunUntilIdle()
+	if a.Now() != time.Second {
+		t.Fatalf("clock = %v after a 1s timer, want exactly 1s", a.Now())
+	}
+}
+
+// TestSendToFailedPeerIsDropped pins the delivery clause: messages to failed
+// peers vanish silently, and recovery restores delivery.
+func TestSendToFailedPeerIsDropped(t *testing.T) {
+	sim, a, b, nw := newPair(t)
+	delivered := 0
+	b.Handle("test.m", func(p2p.Node, p2p.Message) { delivered++ })
+
+	nw.Fail(b.ID())
+	if b.Alive() {
+		t.Fatalf("failed node still Alive()")
+	}
+	a.Send(p2p.Message{Type: "test.m", To: b.ID()})
+	sim.RunUntilIdle()
+	if delivered != 0 {
+		t.Fatalf("message delivered to a failed peer")
+	}
+
+	nw.Recover(b.ID())
+	if !b.Alive() {
+		t.Fatalf("recovered node not Alive()")
+	}
+	a.Send(p2p.Message{Type: "test.m", To: b.ID()})
+	sim.RunUntilIdle()
+	if delivered != 1 {
+		t.Fatalf("delivered %d after recovery, want 1", delivered)
+	}
+}
+
+// TestRandIsSeededStream pins Rand(): the runtime exposes one deterministic
+// stream, so two identically seeded runtimes draw identical values.
+func TestRandIsSeededStream(t *testing.T) {
+	draw := func() []int64 {
+		sim := simnet.NewSim()
+		nw := simnet.NewNetwork(sim, simnet.ConstantLatency(0), rand.New(rand.NewSource(7)))
+		n := nw.AddNode(0)
+		out := make([]int64, 8)
+		for i := range out {
+			out[i] = n.Rand().Int63()
+		}
+		return out
+	}
+	x, y := draw(), draw()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("draw %d differs across identically seeded runtimes: %d vs %d", i, x[i], y[i])
+		}
+	}
+}

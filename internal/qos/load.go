@@ -1,0 +1,45 @@
+package qos
+
+import "time"
+
+// LoadModel maps a peer's utilization to a processing delay, the simulated
+// cost of executing a service or handling a probe on a busy peer. The shape
+// is the M/M/1 sojourn-time inflation: at utilization u the base service
+// time is stretched by 1/(1-u), so delay grows gently under light load and
+// sharply as the peer saturates. Utilization is clamped to Cap so a fully
+// loaded peer yields a large but finite delay, keeping the simulation
+// deterministic and live.
+type LoadModel struct {
+	// Base is the processing time at zero utilization. Zero disables the
+	// model entirely (Delay returns 0 for every utilization).
+	Base time.Duration
+	// Cap clamps utilization before inflation, bounding the worst-case
+	// delay at Base/(1-Cap). Zero takes the default 0.95 (20x inflation).
+	Cap float64
+}
+
+// DefaultLoadModel returns the processing-delay model used by the scale
+// experiment: 2ms base service time, utilization capped at 0.95.
+func DefaultLoadModel() LoadModel {
+	return LoadModel{Base: 2 * time.Millisecond, Cap: 0.95}
+}
+
+// Delay returns the processing delay at utilization u: Base/(1-min(u,Cap)).
+// The result is deterministic in u, so identically seeded runs that reach
+// identical utilization sequences schedule identical delays.
+func (m LoadModel) Delay(u float64) time.Duration {
+	if m.Base <= 0 {
+		return 0
+	}
+	cap := m.Cap
+	if cap <= 0 {
+		cap = 0.95
+	}
+	if u > cap {
+		u = cap
+	}
+	if u < 0 {
+		u = 0
+	}
+	return time.Duration(float64(m.Base) / (1 - u))
+}

@@ -183,6 +183,21 @@ func (l *Ledger) Utilization() float64 {
 	return u
 }
 
+// CommittedUtilization is Utilization with outstanding soft reservations
+// counted alongside hard allocations. Overload shedding keys off this figure:
+// a probe that soft-reserved but has not yet been confirmed is load the peer
+// has already promised, and ignoring it would let concurrent compositions
+// race a nearly-full peer past the shedding threshold.
+func (l *Ledger) CommittedUtilization() float64 {
+	var u float64
+	for i := range l.capacity {
+		if l.capacity[i] > 0 {
+			u = math.Max(u, (l.hard[i]+l.soft[i])/l.capacity[i])
+		}
+	}
+	return u
+}
+
 func (l *Ledger) clampNonNegative(r *Resources) {
 	for i := range r {
 		if r[i] < 0 {

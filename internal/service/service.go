@@ -140,6 +140,10 @@ func (w Weights) Normalize() Weights {
 type Snapshot struct {
 	Comp  Component
 	Avail qos.Resources // availability ra^vj recorded by the probe
+	// Util is the hosting peer's scalar utilization (hard allocations over
+	// capacity, in [0,1]) at probe time, the load figure the overload
+	// control plane folds into selection.
+	Util float64
 }
 
 // LinkSnapshot is one probed service link: the functions it connects

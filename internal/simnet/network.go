@@ -12,6 +12,14 @@ import (
 // LatencyFunc models one-way message latency between two peers.
 type LatencyFunc func(from, to p2p.NodeID) time.Duration
 
+// ProcDelayFunc models receiver-side processing delay: the extra time a
+// message of the given type spends queued at the destination before its
+// handler runs. The overload control plane backs it with a utilization-driven
+// M/M/1 model (qos.LoadModel); nil means processing is free, today's
+// behavior. The function must be deterministic in the simulation state for
+// traces to stay byte-identical per seed.
+type ProcDelayFunc func(to p2p.NodeID, msgType string) time.Duration
+
 // Stats accumulates network-level overhead counters. The experiments use
 // these to compare SpiderNet's probing overhead with the baselines'
 // flooding / global-state-update overhead.
@@ -37,7 +45,8 @@ type Network struct {
 	trace   obs.Tracer
 	obsReg  *obs.Registry
 	met     *obs.Metrics
-	faults  *faultState // nil unless SetFaults installed a plan
+	faults  *faultState   // nil unless SetFaults installed a plan
+	proc    ProcDelayFunc // nil unless SetProcDelay installed a load model
 }
 
 // NewNetwork creates a network whose message delays come from latency and
@@ -76,6 +85,13 @@ func (nw *Network) SetObs(trace obs.Tracer, reg *obs.Registry, met *obs.Metrics)
 		}
 	}
 }
+
+// SetProcDelay installs a receiver-side processing-delay model (nil removes
+// it). The delay is computed at send time from the destination's current
+// state and added to the link latency, so a loaded peer serves probes and
+// session traffic more slowly — the overload regime the scale experiment
+// drives.
+func (nw *Network) SetProcDelay(f ProcDelayFunc) { nw.proc = f }
 
 // Stats returns a snapshot of the overhead counters.
 func (nw *Network) Stats() Stats {
@@ -157,6 +173,12 @@ func (nw *Network) send(msg p2p.Message) {
 		epoch, known = dst.epoch, true
 	}
 	d := nw.latency(msg.From, msg.To)
+	if nw.proc != nil {
+		// Receiver-side processing delay, evaluated at send time from the
+		// destination's current load. Duplicated fault copies below reuse d,
+		// so they ride the same queueing delay as the original.
+		d += nw.proc(msg.To, msg.Type)
+	}
 	if fs := nw.faults; fs != nil {
 		// Fixed evaluation order — partition, loss, jitter, dup — with a
 		// draw consumed only when the matching rate is non-zero, so plans

@@ -1,0 +1,67 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec throws arbitrary documents at the XML request parser. Any
+// input may be rejected, but an accepted one must produce a structurally
+// valid request whose rendered form parses back to an equivalent request
+// (parse∘render is idempotent).
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		sample,
+		`<composite name="one"><function id="a" name="fn0"/></composite>`,
+		`<composite><function id="a" name="fn0"/><function id="b" name="fn1"/>` +
+			`<dependency from="a" to="b"/><commutation a="a" b="b"/></composite>`,
+		`<composite name="q"><function id="a" name="fn0"/>` +
+			`<qos delayMs="100" lossRate="0.5" jitterMs="3"/>` +
+			`<resources cpu="2" memoryMB="64" bandwidthKbps="300"/>` +
+			`<failure bound="0.01"/><probing budget="4"/></composite>`,
+		`<composite name="v"><function id="a" name="fn0"/>` +
+			`<variant><function id="b" name="fn1"/></variant></composite>`,
+		`<composite name="cycle"><function id="a" name="fn0"/><function id="b" name="fn1"/>` +
+			`<dependency from="a" to="b"/><dependency from="b" to="a"/></composite>`,
+		`<composite name="dangling"><function id="a" name="fn0"/>` +
+			`<dependency from="a" to="ghost"/></composite>`,
+		`<composite name="neg"><function id="a" name="fn0"/>` +
+			`<resources cpu="-1" memoryMB="-2" bandwidthKbps="-3"/></composite>`,
+		`<composite name="nan"><function id="a" name="fn0"/>` +
+			`<qos delayMs="NaN"/></composite>`,
+		`not xml at all`,
+		``,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		req, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if req == nil || req.FGraph == nil {
+			t.Fatalf("accepted spec produced nil request/graph")
+		}
+		if verr := req.Validate(); verr != nil {
+			t.Fatalf("accepted spec fails validation: %v\ninput: %q", verr, in)
+		}
+		out, err := Render("fuzz", req)
+		if err != nil {
+			t.Fatalf("accepted request does not render: %v", err)
+		}
+		again, err := Parse(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("rendered spec does not re-parse: %v\nrendered: %s", err, out)
+		}
+		if got, want := again.FGraph.NumFunctions(), req.FGraph.NumFunctions(); got != want {
+			t.Fatalf("round-trip changed function count: %d -> %d", want, got)
+		}
+		if got, want := len(again.Variants), len(req.Variants); got != want {
+			t.Fatalf("round-trip changed variant count: %d -> %d", want, got)
+		}
+		if again.Budget != req.Budget {
+			t.Fatalf("round-trip changed budget: %d -> %d", req.Budget, again.Budget)
+		}
+	})
+}

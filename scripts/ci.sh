@@ -15,6 +15,21 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Coverage gate: per-package statement coverage must stay at or above the
+# floor. Packages without test files are reported but do not fail the gate;
+# adding their first test pulls them in automatically.
+echo "== coverage gate (floor 50%)"
+go test -cover ./... | awk '
+    $1 != "ok" && /coverage:/ { printf "coverage: %-32s (no test files)\n", $1; next }
+    $1 == "ok" && /no statements/ { printf "coverage: %-32s (no statements)\n", $2; next }
+    $1 == "ok" && /coverage:/ {
+        for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i + 1)
+        sub(/%.*/, "", pct)
+        printf "coverage: %-32s %5.1f%%\n", $2, pct
+        if (pct + 0 < 50) { printf "coverage: %s below 50%% floor\n", $2; bad = 1 }
+    }
+    END { exit bad }'
+
 # Trace gate: the same seed must produce byte-identical JSONL traces, the
 # traces must satisfy the protocol invariants (spidersim -check), and the
 # gzip trace path must round-trip to the same events.
@@ -53,6 +68,18 @@ go build -o "$tmp/spiderbench" ./cmd/spiderbench
 "$tmp/spiderbench" -fig 11 -parallel 8 -trace "$tmp/p8.jsonl" > "$tmp/p8.txt" 2> /dev/null
 cmp "$tmp/p1.txt" "$tmp/p8.txt"
 cmp "$tmp/p1.jsonl" "$tmp/p8.jsonl"
+
+# Scale gate: the offered-load sweep (load-aware vs load-blind under
+# processing-delay inflation) must also be byte-identical across re-runs and
+# worker counts, trace included.
+echo "== scale experiment determinism gate"
+"$tmp/spiderbench" -fig scale -parallel 1 -trace "$tmp/s1.jsonl" > "$tmp/s1.txt" 2> /dev/null
+"$tmp/spiderbench" -fig scale -parallel 8 -trace "$tmp/s8.jsonl" > "$tmp/s8.txt" 2> /dev/null
+"$tmp/spiderbench" -fig scale -parallel 8 -trace "$tmp/s8b.jsonl" > "$tmp/s8b.txt" 2> /dev/null
+cmp "$tmp/s1.txt" "$tmp/s8.txt"
+cmp "$tmp/s1.jsonl" "$tmp/s8.jsonl"
+cmp "$tmp/s8.txt" "$tmp/s8b.txt"
+cmp "$tmp/s8.jsonl" "$tmp/s8b.jsonl"
 
 # Advisory bench step: compare a fresh microbenchmark run against the newest
 # committed BENCH_*.json baseline. Never fails the gate — benchmark noise on
