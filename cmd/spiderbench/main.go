@@ -10,6 +10,7 @@
 //	spiderbench -fig 11           # delay vs probing budget
 //	spiderbench -fig scale        # offered-load sweep, load-blind vs load-aware
 //	spiderbench -fig overhead     # BCP vs centralized overhead
+//	spiderbench -fig federate     # cross-domain 2PC sweep, domains x gateways x faults
 //	spiderbench -fig all
 //	spiderbench -bench            # microbenchmarks -> BENCH_<timestamp>.json
 package main
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 10, 11, scale, overhead, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 10, 11, scale, overhead, federate, all")
 	paper := flag.Bool("paper", false, "use the paper's full dimensions (slow)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
@@ -241,8 +242,24 @@ func main() {
 			writeCSV("overhead", res.Table)
 		})
 	}
+	if want("federate") {
+		ran = true
+		run("Federate (cross-domain 2PC sweep)", func() {
+			cfg := experiment.DefaultFederateConfig()
+			if *paper {
+				cfg = experiment.PaperFederateConfig()
+			}
+			cfg.Seed = *seed
+			cfg.Trace = trace
+			cfg.Counters = reg
+			cfg.Parallel = *parallel
+			res := experiment.Federate(cfg)
+			res.Table.Render(os.Stdout)
+			writeCSV("federate", res.Table)
+		})
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q; want 8, 9, 10, 11, scale, overhead, or all\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q; want 8, 9, 10, 11, scale, overhead, federate, or all\n", *fig)
 		os.Exit(2)
 	}
 	if tf != nil {

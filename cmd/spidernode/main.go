@@ -23,8 +23,35 @@ import (
 
 	spidernet "repro"
 	"repro/internal/admin"
+	"repro/internal/federation"
 	"repro/internal/obs"
 )
+
+// previewDomains shows how a federation spec would carve up a live
+// deployment: per-domain member ranges, gateway and coordinator assignments,
+// and which media functions each domain would home. The live runtime itself
+// runs unfederated; the simulator (spidersim -domains) executes the plan.
+func previewDomains(spec string, hosts int) error {
+	s, err := federation.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	plan, err := s.Plan(hosts)
+	if err != nil {
+		return err
+	}
+	catalog := spidernet.MediaFunctions()
+	fmt.Printf("federation plan: %s over %d hosts\n\n", s, hosts)
+	for d := 0; d < plan.NumDomains; d++ {
+		members := plan.Members[d]
+		fmt.Printf("domain %d: peers %d..%d (%d members)\n",
+			d, members[0], members[len(members)-1], len(members))
+		fmt.Printf("  gateways:    %v\n", plan.Gateways(d))
+		fmt.Printf("  coordinator: %d\n", plan.Coordinator(d))
+		fmt.Printf("  functions:   %v\n", plan.CatalogFor(d, catalog))
+	}
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -46,8 +73,13 @@ func run() (err error) {
 		stats     = flag.Bool("stats", false, "print counter and histogram tables after the workload")
 		adminAddr = flag.String("admin", "", "serve /metrics, /snapshot, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 		hold      = flag.Duration("hold", 0, "keep the deployment (and admin endpoint) alive this long after the workload")
+		domains   = flag.String("domains", "", "preview how a federation spec (e.g. domains=4,gateways=2) partitions the hosts, then exit")
 	)
 	flag.Parse()
+
+	if *domains != "" {
+		return previewDomains(*domains, *hosts)
+	}
 
 	var trace obs.Tracer
 	if *traceFile != "" {

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/bcp"
 	"repro/internal/cluster"
+	"repro/internal/federation"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/p2p"
@@ -56,6 +57,7 @@ func run() error {
 		dagProb   = flag.Float64("dag", 0.2, "probability of DAG-shaped requests")
 		commute   = flag.Float64("commute", 0.2, "probability of commutation links")
 		faults    = flag.String("faults", "", "fault spec, e.g. loss=0.05,dup=0.01,jitter=20ms,partition=10s@30s,seed=3")
+		domains   = flag.String("domains", "", "federate the overlay into administrative domains and commit cross-domain sessions with 2PC, e.g. domains=4,gateways=2,hold=10s,life=30s")
 		loadBase  = flag.Duration("load", 0, "enable the overload control plane: per-peer processing delay base (M/M/1 inflation with utilization); 0 = off")
 		shed      = flag.Float64("shed", 0.8, "with -load: utilization threshold at which peers shed probes (0 disables shedding)")
 		specFile  = flag.String("spec", "", "compose a single request from a QoSTalk-style XML spec file")
@@ -83,6 +85,15 @@ func run() error {
 	if *faults != "" {
 		var err error
 		fspec, err = simnet.ParseFaultSpec(*faults)
+		if err != nil {
+			return err
+		}
+	}
+
+	var dspec *federation.Spec
+	if *domains != "" {
+		var err error
+		dspec, err = federation.ParseSpec(*domains)
 		if err != nil {
 			return err
 		}
@@ -137,6 +148,12 @@ func run() error {
 			Shed:  *shed,
 		}
 	}
+	// Federated sessions recover by presumed abort and bounded leases, not by
+	// the per-session recovery manager, so -domains disables it.
+	recPtr := &recCfg
+	if dspec != nil {
+		recPtr = nil
+	}
 	c := cluster.New(cluster.Options{
 		Seed:     *seed,
 		IPNodes:  *ipNodes,
@@ -144,7 +161,8 @@ func run() error {
 		Catalog:  catalog(*functions),
 		BCP:      bcpCfg,
 		Load:     loadOpts,
-		Recovery: &recCfg,
+		Recovery: recPtr,
+		Domains:  dspec,
 		Trace:    trace,
 		Obs:      reg,
 		Metrics:  met,
@@ -169,8 +187,8 @@ func run() error {
 	}, c.Rng)
 
 	var ok metrics.Ratio
-	var setup, discovery metrics.Sample
-	attempted, completed := 0, 0
+	var setup, discovery, commitLat metrics.Sample
+	attempted, completed, xdomain := 0, 0, 0
 	for i := 0; i < *requests; i++ {
 		req := gen.Next()
 		at := time.Duration(float64(*duration) * c.Rng.Float64() * 0.8)
@@ -178,8 +196,25 @@ func run() error {
 			if at < c.Sim.Now() {
 				return
 			}
+			if !c.Net.Alive(req.Source) {
+				return // a crashed source composes nothing
+			}
 			attempted++
 			p := c.Peers[int(req.Source)]
+			if dspec != nil {
+				p.Fed.Compose(req, func(res federation.Result) {
+					completed++
+					ok.Add(res.Ok)
+					if res.Ok {
+						setup.AddDuration(res.SetupTime)
+						if res.Domains > 1 {
+							xdomain++
+							commitLat.AddDuration(res.CommitLatency)
+						}
+					}
+				})
+				return
+			}
 			p.Engine.Compose(req, func(res bcp.Result) {
 				completed++
 				ok.Add(res.Ok)
@@ -201,16 +236,39 @@ func run() error {
 			})
 		}
 	}
-	c.Sim.Run(*duration)
+	end := *duration
+	if dspec != nil {
+		// Drain until every federated lease (client give-up, hold expiry,
+		// session end of life, commit-TTL backstop) must have resolved, so a
+		// reservation still held afterwards is a real leak.
+		end += c.Fed.Cfg.Drain()
+	}
+	c.Sim.Run(end)
 
 	st := c.Net.Stats()
 	var rec recovery.Stats
 	for _, p := range c.Peers {
+		if p.Recovery == nil {
+			continue
+		}
 		s := p.Recovery.Stats()
 		rec.FailuresDetected += s.FailuresDetected
 		rec.Switchovers += s.Switchovers
 		rec.Reactives += s.Reactives
 		rec.Dead += s.Dead
+	}
+	orphans := 0
+	if dspec != nil {
+		for i, p := range c.Peers {
+			if !c.Net.Alive(p2p.NodeID(i)) {
+				continue
+			}
+			if p.Ledger.HardAllocated() != (qos.Resources{}) ||
+				p.Ledger.SoftAllocated() != (qos.Resources{}) ||
+				p.Engine.Held() > 0 {
+				orphans++
+			}
+		}
 	}
 
 	t := metrics.NewTable(fmt.Sprintf("spidersim: %d peers on %d IP nodes, %d requests, budget %d",
@@ -222,10 +280,20 @@ func run() error {
 	t.AddRow("messages sent", st.MessagesSent)
 	t.AddRow("bytes sent", st.BytesSent)
 	t.AddRow("probes sent", st.ByType[bcp.MsgProbe])
-	t.AddRow("failures detected", rec.FailuresDetected)
-	t.AddRow("switchovers", rec.Switchovers)
-	t.AddRow("reactive recoveries", rec.Reactives)
-	t.AddRow("unrecovered failures", rec.Dead)
+	if dspec != nil {
+		led := c.Fed.TotalLedger()
+		t.AddRow("cross-domain sessions", xdomain)
+		t.AddRow("avg commit latency", time.Duration(commitLat.Mean()*float64(time.Millisecond)))
+		t.AddRow("fed prepares", led.Prepares)
+		t.AddRow("fed commits", led.Commits)
+		t.AddRow("fed aborts", led.Aborts+led.Expires)
+		t.AddRow("orphaned reservations", orphans)
+	} else {
+		t.AddRow("failures detected", rec.FailuresDetected)
+		t.AddRow("switchovers", rec.Switchovers)
+		t.AddRow("reactive recoveries", rec.Reactives)
+		t.AddRow("unrecovered failures", rec.Dead)
+	}
 	t.Render(os.Stdout)
 
 	if tf != nil {
@@ -245,6 +313,9 @@ func run() error {
 	if *check {
 		if hung := attempted - completed; hung > 0 {
 			return fmt.Errorf("check: %d of %d compositions never called back (hung sessions)", hung, attempted)
+		}
+		if orphans > 0 {
+			return fmt.Errorf("check: %d alive peers left holding reservations after the drain", orphans)
 		}
 		events := mem.Events()
 		vs := obs.Check(events)

@@ -88,6 +88,14 @@ type Config struct {
 	// as path latency; with a zero model the scoring falls back to a flat
 	// utilization weight.
 	LoadModel qos.LoadModel
+	// CommitTTL, when positive, bounds the life of every hard allocation
+	// this peer registers: a commit or session-bandwidth admission not
+	// released within the TTL frees itself. Federated deployments set it as
+	// the backstop against session owners that crash after the reverse-path
+	// ACK committed resources on this peer — nobody else knows the session
+	// exists, so only a local lease can reclaim them. Zero (the default)
+	// keeps hard allocations permanent until torn down.
+	CommitTTL time.Duration
 	// DisableCommutation turns off pattern exploration (ablation).
 	DisableCommutation bool
 	// RandomNextHop replaces the composite next-hop selection metric with a
@@ -165,6 +173,11 @@ type Engine struct {
 	// graph never frees another session's resources.
 	hard map[softKey]qos.Resources
 	bws  map[allocKey]float64
+
+	// held holds established service graphs whose session fate is pending an
+	// external two-phase-commit decision (the federation layer's prepare
+	// window). Each entry releases itself when its hold timer fires.
+	held map[uint64]*heldSession
 
 	// Weights for the ψ cost function used at selection time.
 	Weights service.Weights
@@ -284,6 +297,7 @@ func NewEngine(host p2p.Node, ledger *qos.Ledger, reg *registry.Registry, oracle
 		cache:      make(map[string]cacheEntry),
 		hard:       make(map[softKey]qos.Resources),
 		bws:        make(map[allocKey]float64),
+		held:       make(map[uint64]*heldSession),
 		retx:       make(map[uint64]*retxState),
 		Weights:    service.DefaultWeights(),
 	}
@@ -594,6 +608,7 @@ func (e *Engine) CommitSession(reqID uint64, compID string, res qos.Resources) b
 		h.cancel()
 		e.ledger.Commit(res)
 		e.hard[key] = res
+		e.armCommitTTL(key)
 		return true
 	}
 	// The soft reservation expired before the ACK arrived. A shedding peer
@@ -607,6 +622,7 @@ func (e *Engine) CommitSession(reqID uint64, compID string, res qos.Resources) b
 		return false
 	}
 	e.hard[key] = res
+	e.armCommitTTL(key)
 	return true
 }
 
@@ -621,6 +637,7 @@ func (e *Engine) AllocSessionBandwidth(reqID uint64, b p2p.NodeID, kbps float64)
 		return false
 	}
 	e.bws[key] = kbps
+	e.armBandwidthTTL(key)
 	return true
 }
 

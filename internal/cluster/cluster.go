@@ -13,6 +13,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/bcp"
 	"repro/internal/dht"
+	"repro/internal/federation"
 	"repro/internal/media"
 	"repro/internal/obs"
 	"repro/internal/p2p"
@@ -54,6 +55,17 @@ type Options struct {
 	// DynamicJoin grows the DHT with serial joins instead of the static
 	// global-knowledge build.
 	DynamicJoin bool
+	// Domains, when non-nil, federates the deployment: peers are partitioned
+	// into administrative domains per the spec, each domain gets its own DHT
+	// ring (keyspace shard) and a disjoint shard of the function catalogue,
+	// gateway peers run the two-phase-commit agents, and every peer gets a
+	// federation client (Peer.Fed) for cross-domain composition. Nil (the
+	// default) builds the flat single-overlay deployment, byte-identical to
+	// clusters built before federation existed.
+	Domains *federation.Spec
+	// Federation overrides the federation protocol timers (the spec's
+	// hold/life keys still win). Zero fields take federation defaults.
+	Federation federation.Config
 	// Recovery, when non-nil, attaches a failure-recovery manager to every
 	// peer.
 	Recovery *recovery.Config
@@ -99,6 +111,8 @@ type Peer struct {
 	Media      *media.Node
 	Components []service.Component
 	FailProb   float64
+	// Fed is the peer's federation client (nil unless Options.Domains set).
+	Fed *federation.Client
 }
 
 // Cluster is a fully wired simulated deployment.
@@ -109,7 +123,17 @@ type Cluster struct {
 	Overlay *topology.Overlay
 	Peers   []*Peer
 	Rng     *rand.Rand
-	opts    Options
+	// Fed is the federation control plane (nil unless Options.Domains set).
+	Fed  *federation.Federation
+	opts Options
+}
+
+// Plan returns the domain plan of a federated cluster, nil otherwise.
+func (c *Cluster) Plan() *federation.DomainPlan {
+	if c.Fed == nil {
+		return nil
+	}
+	return c.Fed.Plan
 }
 
 func (o *Options) withDefaults() Options {
@@ -161,6 +185,25 @@ func (o *Options) withDefaults() Options {
 // registrations settle).
 func New(opts Options) *Cluster {
 	o := opts.withDefaults()
+	// Federated deployments shard the catalogue and DHT per domain, and arm
+	// the BCP commit-TTL backstop before any engine is built. The nil-Domains
+	// path must stay byte-identical to pre-federation clusters, so every
+	// federation branch below is gated on plan != nil.
+	var plan *federation.DomainPlan
+	var fcfg federation.Config
+	if o.Domains != nil {
+		var err error
+		plan, err = o.Domains.Plan(o.Peers)
+		if err != nil {
+			panic("cluster: " + err.Error())
+		}
+		if len(o.Catalog) < plan.NumDomains {
+			panic(fmt.Sprintf("cluster: catalogue of %d functions cannot shard across %d domains",
+				len(o.Catalog), plan.NumDomains))
+		}
+		fcfg = o.Federation.Apply(o.Domains)
+		o.BCP.CommitTTL = fcfg.CommitTTL()
+	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	sim := simnet.NewSim()
 	ip := topology.GeneratePowerLaw(o.IPNodes, 2, 2, 30, rng)
@@ -210,11 +253,17 @@ func New(opts Options) *Cluster {
 		reg := registry.New(dn)
 		failProb := rng.Float64() * o.FailProbMax
 
+		// A federated peer draws its components from its domain's catalogue
+		// shard, so every function is provided by exactly one domain.
+		catalog := o.Catalog
+		if plan != nil {
+			catalog = plan.CatalogFor(plan.DomainOf(p2p.NodeID(i)), o.Catalog)
+		}
 		ncomps := o.MinComps + rng.Intn(o.MaxComps-o.MinComps+1)
 		comps := make([]service.Component, 0, ncomps)
 		used := make(map[string]bool)
 		for k := 0; k < ncomps; k++ {
-			fn := o.Catalog[rng.Intn(len(o.Catalog))]
+			fn := catalog[rng.Intn(len(catalog))]
 			if used[fn] {
 				continue // a peer provides each function at most once
 			}
@@ -273,12 +322,33 @@ func New(opts Options) *Cluster {
 		dhtNodes[i] = dn
 	}
 
-	if o.DynamicJoin {
+	switch {
+	case plan != nil && o.DynamicJoin:
+		// Serial joins bootstrap within the domain, so each domain grows its
+		// own ring.
+		for _, members := range plan.Members {
+			for i := 1; i < len(members); i++ {
+				dhtNodes[members[i]].Join(members[rng.Intn(i)])
+				sim.RunUntilIdle()
+			}
+		}
+	case plan != nil:
+		// One DHT ring per domain: the member subsets never reference each
+		// other, so every domain owns a disjoint keyspace shard and service
+		// registrations stay within their domain.
+		for _, members := range plan.Members {
+			ring := make([]*dht.Node, len(members))
+			for i, id := range members {
+				ring[i] = dhtNodes[id]
+			}
+			dht.Build(ring)
+		}
+	case o.DynamicJoin:
 		for i := 1; i < o.Peers; i++ {
 			dhtNodes[i].Join(p2p.NodeID(rng.Intn(i)))
 			sim.RunUntilIdle()
 		}
-	} else {
+	default:
 		dht.Build(dhtNodes)
 	}
 
@@ -289,6 +359,39 @@ func New(opts Options) *Cluster {
 		}
 	}
 	sim.RunUntilIdle()
+
+	if plan != nil {
+		// The federation control plane goes up after discovery has settled:
+		// coordinators and gateway agents on each domain's designated peers,
+		// a client on every peer, and one advertisement round so each
+		// coordinator knows every domain's function set.
+		localFns := make([][]string, plan.NumDomains)
+		for d, members := range plan.Members {
+			seen := make(map[string]bool)
+			for _, id := range members {
+				for _, comp := range c.Peers[id].Components {
+					if !seen[comp.Function] {
+						seen[comp.Function] = true
+						localFns[d] = append(localFns[d], comp.Function)
+					}
+				}
+			}
+		}
+		c.Fed = federation.New(federation.Deployment{
+			Plan:     plan,
+			Cfg:      fcfg,
+			Host:     func(id p2p.NodeID) p2p.Node { return c.Peers[id].Node },
+			Engine:   func(id p2p.NodeID) *bcp.Engine { return c.Peers[id].Engine },
+			LocalFns: localFns,
+			Trace:    o.Trace,
+			Obs:      o.Obs,
+		})
+		for _, p := range c.Peers {
+			p.Fed = c.Fed.NewClient(p.Node)
+		}
+		c.Fed.Bootstrap()
+		sim.RunUntilIdle()
+	}
 	net.ResetStats()
 	return c
 }

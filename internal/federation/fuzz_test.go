@@ -1,0 +1,44 @@
+package federation
+
+import "testing"
+
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"domains=2",
+		"domains=4,gateways=2",
+		"domains=3,gateways=1,hold=10s,life=30s",
+		"domains=8,hold=1m30s",
+		"domains=1",
+		"gateways=2",
+		"domains=2,domains=3",
+		"domains=2,hold=-5s",
+		"bogus=1",
+		"=,=,=",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		// Every accepted spec is internally valid and round-trips through
+		// its canonical String form.
+		if spec.Domains < 2 {
+			t.Fatalf("accepted fewer than 2 domains: %+v", spec)
+		}
+		if spec.Gateways < 0 {
+			t.Fatalf("accepted negative gateway count: %+v", spec)
+		}
+		if spec.Hold < 0 || spec.Life < 0 {
+			t.Fatalf("accepted negative duration: %+v", spec)
+		}
+		back, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("canonical form %q rejected: %v", spec.String(), err)
+		}
+		if *back != *spec {
+			t.Fatalf("round trip %+v -> %q -> %+v", spec, spec.String(), back)
+		}
+	})
+}

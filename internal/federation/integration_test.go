@@ -1,0 +1,341 @@
+package federation_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/federation"
+	"repro/internal/fgraph"
+	"repro/internal/obs"
+	"repro/internal/p2p"
+	"repro/internal/qos"
+	"repro/internal/service"
+	"repro/internal/simnet"
+)
+
+func catalog(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("fn%d", i)
+	}
+	return out
+}
+
+// fedCluster builds a federated cluster small enough for fast tests but with
+// enough peers per domain that every catalogue function has replicas.
+func fedCluster(seed int64, domains, gateways int, trace obs.Tracer, reg *obs.Registry) *cluster.Cluster {
+	return cluster.New(cluster.Options{
+		Seed:    seed,
+		IPNodes: 200,
+		Peers:   16 * domains,
+		Catalog: catalog(3 * domains),
+		Domains: &federation.Spec{Domains: domains, Gateways: gateways,
+			Hold: 10 * time.Second, Life: 10 * time.Second},
+		Trace: trace,
+		Obs:   reg,
+	})
+}
+
+// fedRequest builds a composition over the given functions, originating at
+// src. The QoS envelope is loose enough that probing succeeds whenever the
+// functions are deployed and reachable.
+func fedRequest(id uint64, src p2p.NodeID, fns ...string) *service.Request {
+	q := qos.Unbounded()
+	q[qos.Delay] = 20000
+	var res qos.Resources
+	res[qos.CPU] = 1
+	res[qos.Memory] = 10
+	return &service.Request{
+		ID: id, FGraph: fgraph.Linear(fns...), QoSReq: q, Res: res,
+		Bandwidth: 10, FailReq: 0.05,
+		Source: src, Dest: src, Budget: 24,
+	}
+}
+
+// drain runs the cluster until every federated lease must have resolved.
+func drain(c *cluster.Cluster, after time.Duration) {
+	c.Sim.Run(c.Sim.Now() + after + c.Fed.Cfg.Drain())
+}
+
+// orphanCount scans alive peers for any reservation left after a drain.
+func orphanCount(c *cluster.Cluster) int {
+	n := 0
+	for i, p := range c.Peers {
+		if !c.Net.Alive(p2p.NodeID(i)) {
+			continue
+		}
+		if p.Ledger.HardAllocated() != (qos.Resources{}) ||
+			p.Ledger.SoftAllocated() != (qos.Resources{}) ||
+			p.Engine.Held() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// checkTrace asserts the obs invariants (including the 2PC lifecycle
+// invariant) over the recorded trace.
+func checkTrace(t *testing.T, mem *obs.MemSink) {
+	t.Helper()
+	for _, v := range obs.Check(mem.Events()) {
+		t.Errorf("invariant: %s", v)
+	}
+}
+
+func TestCrossDomainCommit(t *testing.T) {
+	mem := &obs.MemSink{}
+	reg := obs.NewRegistry()
+	c := fedCluster(21, 2, 1, mem, reg)
+
+	// Catalogue homing is round-robin, so fn0 lives in domain 0 and fn1 in
+	// domain 1: this chain must cross the boundary.
+	var got federation.Result
+	src := c.Plan().Members[0][1] // non-gateway member of domain 0
+	c.Peers[int(src)].Fed.Compose(fedRequest(1, src, "fn0", "fn1"), func(r federation.Result) {
+		got = r
+	})
+	drain(c, 0)
+
+	if !got.Ok {
+		t.Fatal("cross-domain composition failed on a healthy cluster")
+	}
+	if got.Domains != 2 {
+		t.Fatalf("session spans %d domains, want 2", got.Domains)
+	}
+	if got.CommitLatency <= 0 {
+		t.Fatalf("commit latency %v, want positive", got.CommitLatency)
+	}
+	if got.SetupTime <= 0 || got.SetupTime >= 25*time.Second {
+		t.Fatalf("setup time %v outside (0, client timeout)", got.SetupTime)
+	}
+
+	led := c.Fed.TotalLedger()
+	if led.Prepares != 2 || led.Commits != 2 {
+		t.Fatalf("ledger %+v, want 2 prepares and 2 commits", led)
+	}
+	if out := led.Outstanding(); out != 0 {
+		t.Fatalf("%d holds outstanding after drain", out)
+	}
+	if n := c.Fed.OutstandingHolds(); n != 0 {
+		t.Fatalf("%d engine holds outstanding after drain", n)
+	}
+	if n := orphanCount(c); n != 0 {
+		t.Fatalf("%d peers left holding reservations", n)
+	}
+	checkTrace(t, mem)
+	for _, v := range obs.CheckTotals(mem.Events(), reg.Totals()) {
+		t.Errorf("totals: %s", v)
+	}
+}
+
+func TestSingleDomainStaysLocal(t *testing.T) {
+	mem := &obs.MemSink{}
+	c := fedCluster(22, 2, 1, mem, nil)
+
+	// fn0 and fn2 both home in domain 0 (round-robin over 2 domains).
+	var got federation.Result
+	src := c.Plan().Members[0][2]
+	c.Peers[int(src)].Fed.Compose(fedRequest(2, src, "fn0", "fn2"), func(r federation.Result) {
+		got = r
+	})
+	drain(c, 0)
+
+	if !got.Ok {
+		t.Fatal("single-domain composition failed on a healthy cluster")
+	}
+	if got.Domains != 1 {
+		t.Fatalf("session spans %d domains, want 1", got.Domains)
+	}
+	if n := orphanCount(c); n != 0 {
+		t.Fatalf("%d peers left holding reservations", n)
+	}
+	checkTrace(t, mem)
+}
+
+func TestMissingFunctionFailsFast(t *testing.T) {
+	mem := &obs.MemSink{}
+	c := fedCluster(23, 2, 1, mem, nil)
+
+	var got federation.Result
+	var done bool
+	src := c.Plan().Members[0][1]
+	c.Peers[int(src)].Fed.Compose(fedRequest(3, src, "fn0", "nosuchfn"), func(r federation.Result) {
+		got, done = r, true
+	})
+	c.Sim.Run(c.Sim.Now() + 5*time.Second)
+
+	if !done {
+		t.Fatal("no-provider request did not fail fast")
+	}
+	if got.Ok {
+		t.Fatal("composition over a function nobody provides succeeded")
+	}
+	drain(c, 0)
+	if n := orphanCount(c); n != 0 {
+		t.Fatalf("%d peers left holding reservations", n)
+	}
+	if led := c.Fed.TotalLedger(); led.Prepares != 0 {
+		t.Fatalf("failed split still prepared: %+v", led)
+	}
+	checkTrace(t, mem)
+}
+
+// TestGatewayCrashPresumedAbort crashes the remote domain's gateway while
+// requests are in flight: every prepare it issued before dying is excused by
+// its crash, every hold elsewhere resolves by presumed abort, and no alive
+// peer is left holding anything.
+func TestGatewayCrashPresumedAbort(t *testing.T) {
+	mem := &obs.MemSink{}
+	c := fedCluster(24, 2, 1, mem, nil)
+	victim := c.Plan().Gateways(1)[0]
+
+	results := 0
+	for i := 0; i < 6; i++ {
+		id := uint64(10 + i)
+		src := c.Plan().Members[0][1+i%4]
+		at := time.Duration(i) * 2 * time.Second
+		c.Sim.Schedule(at, func() {
+			c.Peers[int(src)].Fed.Compose(fedRequest(id, src, "fn0", "fn1"), func(federation.Result) {
+				results++
+			})
+		})
+	}
+	c.Sim.Schedule(5*time.Second, func() { c.Net.Fail(victim) })
+	drain(c, 12*time.Second)
+
+	if results != 6 {
+		t.Fatalf("%d of 6 requests resolved at the client", results)
+	}
+	if n := orphanCount(c); n != 0 {
+		t.Fatalf("%d alive peers left holding reservations", n)
+	}
+	checkTrace(t, mem)
+}
+
+// TestPartitionDuringCommit cuts domain 0 off from the rest of the overlay
+// across the commit window, then heals it: in-flight protocol rounds resolve
+// by timeout on both sides and the drained cluster holds nothing.
+func TestPartitionDuringCommit(t *testing.T) {
+	mem := &obs.MemSink{}
+	c := fedCluster(25, 2, 1, mem, nil)
+
+	for i := 0; i < 6; i++ {
+		id := uint64(30 + i)
+		src := c.Plan().Members[0][1+i%4]
+		at := time.Duration(i) * 2 * time.Second
+		c.Sim.Schedule(at, func() {
+			c.Peers[int(src)].Fed.Compose(fedRequest(id, src, "fn0", "fn1"), func(federation.Result) {})
+		})
+	}
+	c.ApplyFaults(simnet.FaultPlan{Seed: 9, Partitions: []simnet.Partition{
+		c.Plan().DomainPartition(0, 4*time.Second, 20*time.Second),
+	}})
+	drain(c, 20*time.Second)
+
+	if n := orphanCount(c); n != 0 {
+		t.Fatalf("%d peers left holding reservations after heal", n)
+	}
+	if n := c.Fed.OutstandingHolds(); n != 0 {
+		t.Fatalf("%d holds outstanding after heal", n)
+	}
+	checkTrace(t, mem)
+}
+
+// TestCoordinatorCrashPresumedAbort kills the origin coordinator mid-window.
+// Clients fall back to their give-up timer; participant holds in the remote
+// domain expire; nothing leaks.
+func TestCoordinatorCrashPresumedAbort(t *testing.T) {
+	mem := &obs.MemSink{}
+	c := fedCluster(26, 2, 1, mem, nil)
+	victim := c.Plan().Coordinator(0)
+
+	results := 0
+	for i := 0; i < 6; i++ {
+		id := uint64(50 + i)
+		src := c.Plan().Members[0][1+i%4]
+		at := time.Duration(i) * 2 * time.Second
+		c.Sim.Schedule(at, func() {
+			c.Peers[int(src)].Fed.Compose(fedRequest(id, src, "fn0", "fn1"), func(federation.Result) {
+				results++
+			})
+		})
+	}
+	c.Sim.Schedule(3*time.Second, func() { c.Net.Fail(victim) })
+	drain(c, 12*time.Second)
+
+	if results != 6 {
+		t.Fatalf("%d of 6 requests resolved at the client (give-up timer must fire)", results)
+	}
+	if n := orphanCount(c); n != 0 {
+		t.Fatalf("%d alive peers left holding reservations", n)
+	}
+	checkTrace(t, mem)
+}
+
+// TestLedgerMatchesTrace cross-checks the three federated telemetry planes on
+// a healthy multi-request run: gateway ledgers, trace events, and registry
+// counters must agree.
+func TestLedgerMatchesTrace(t *testing.T) {
+	mem := &obs.MemSink{}
+	reg := obs.NewRegistry()
+	c := fedCluster(27, 3, 2, mem, reg)
+
+	for i := 0; i < 8; i++ {
+		id := uint64(70 + i)
+		dom := i % 3
+		src := c.Plan().Members[dom][2]
+		fns := []string{catalog(9)[dom], catalog(9)[dom+3], catalog(9)[(dom+1)%3]}
+		at := time.Duration(i) * 2 * time.Second
+		c.Sim.Schedule(at, func() {
+			c.Peers[int(src)].Fed.Compose(fedRequest(id, src, fns...), func(federation.Result) {})
+		})
+	}
+	drain(c, 16*time.Second)
+
+	var prep, commit, abort int64
+	for _, ev := range mem.Events() {
+		switch ev.Kind {
+		case obs.KindFedPrepare:
+			prep++
+		case obs.KindFedCommit:
+			commit++
+		case obs.KindFedAbort:
+			abort++
+		}
+	}
+	led := c.Fed.TotalLedger()
+	if led.Prepares != prep {
+		t.Errorf("ledger prepares %d, trace has %d", led.Prepares, prep)
+	}
+	if led.Commits != commit {
+		t.Errorf("ledger commits %d, trace has %d", led.Commits, commit)
+	}
+	if led.Aborts+led.Expires != abort {
+		t.Errorf("ledger aborts+expires %d, trace has %d", led.Aborts+led.Expires, abort)
+	}
+	if led.Prepares == 0 {
+		t.Fatal("workload drove no prepares")
+	}
+	if out := led.Outstanding(); out != 0 {
+		t.Fatalf("%d holds outstanding after drain", out)
+	}
+
+	// Per-domain ledgers partition the total.
+	var sum federation.Ledger
+	for d := 0; d < 3; d++ {
+		sum.Add(c.Fed.DomainLedger(d))
+	}
+	if sum != led {
+		t.Errorf("domain ledgers %+v do not sum to total %+v", sum, led)
+	}
+
+	checkTrace(t, mem)
+	for _, v := range obs.CheckTotals(mem.Events(), reg.Totals()) {
+		t.Errorf("totals: %s", v)
+	}
+	if n := orphanCount(c); n != 0 {
+		t.Fatalf("%d peers left holding reservations", n)
+	}
+}

@@ -1,0 +1,106 @@
+package federation
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/p2p"
+	"repro/internal/simnet"
+)
+
+// DomainPlan is the materialized partition of a peer set into administrative
+// domains: contiguous member blocks, the designated gateway peers of each
+// domain (its first NumGateways members), and the domain coordinator (the
+// first gateway). Cluster construction builds one DHT ring per domain over
+// exactly these member sets, so each domain owns its keyspace shard.
+type DomainPlan struct {
+	NumDomains  int
+	NumGateways int
+	// Members lists each domain's peers, in ascending node-ID order.
+	Members  [][]p2p.NodeID
+	domainOf []int
+}
+
+// Plan expands the spec over a peer count: peers [0..n) are split into
+// Domains contiguous blocks (remainders going to the lower-numbered
+// domains), and each block's first Gateways peers become its gateways.
+func (s *Spec) Plan(peers int) (*DomainPlan, error) {
+	d := s.Domains
+	g := s.Gateways
+	if g == 0 {
+		g = 1
+	}
+	if d < 2 {
+		return nil, fmt.Errorf("federation: domains=%d: want at least 2", d)
+	}
+	if peers < d*(g+1) {
+		return nil, fmt.Errorf("federation: %d peers cannot host %d domains of %d gateways each (+1 member)",
+			peers, d, g)
+	}
+	p := &DomainPlan{NumDomains: d, NumGateways: g, domainOf: make([]int, peers)}
+	base, rem := peers/d, peers%d
+	next := 0
+	for dom := 0; dom < d; dom++ {
+		size := base
+		if dom < rem {
+			size++
+		}
+		members := make([]p2p.NodeID, size)
+		for i := range members {
+			members[i] = p2p.NodeID(next)
+			p.domainOf[next] = dom
+			next++
+		}
+		p.Members = append(p.Members, members)
+	}
+	return p, nil
+}
+
+// DomainOf returns the domain hosting peer id, -1 if the id is outside the
+// planned peer set.
+func (p *DomainPlan) DomainOf(id p2p.NodeID) int {
+	if i := int(id); i >= 0 && i < len(p.domainOf) {
+		return p.domainOf[i]
+	}
+	return -1
+}
+
+// Gateways returns domain d's gateway peers (its first NumGateways members).
+func (p *DomainPlan) Gateways(d int) []p2p.NodeID {
+	return p.Members[d][:p.NumGateways]
+}
+
+// Coordinator returns domain d's coordinator peer (its first gateway).
+func (p *DomainPlan) Coordinator(d int) p2p.NodeID {
+	return p.Members[d][0]
+}
+
+// DomainPartition builds a fault-plane partition cutting domain d off from
+// every other domain over [from, until) — the "partition during the commit
+// window" chaos scenario.
+func (p *DomainPlan) DomainPartition(d int, from, until time.Duration) simnet.Partition {
+	part := simnet.Partition{
+		Name:  fmt.Sprintf("domain-%d", d),
+		A:     append([]p2p.NodeID(nil), p.Members[d]...),
+		From:  from,
+		Until: until,
+	}
+	for dom, members := range p.Members {
+		if dom != d {
+			part.B = append(part.B, members...)
+		}
+	}
+	return part
+}
+
+// CatalogFor returns the slice of the function catalogue homed in domain d:
+// functions are assigned round-robin by index, so every function has exactly
+// one home domain and every domain a disjoint shard of the catalogue. The
+// catalogue must have at least one function per domain.
+func (p *DomainPlan) CatalogFor(d int, catalog []string) []string {
+	var out []string
+	for i := d; i < len(catalog); i += p.NumDomains {
+		out = append(out, catalog[i])
+	}
+	return out
+}

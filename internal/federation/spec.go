@@ -1,0 +1,125 @@
+// Package federation partitions a SpiderNet deployment into administrative
+// domains — each with its own DHT keyspace shard and service registry — and
+// composes requests whose function graphs span domains: the origin domain's
+// coordinator splits the chain into per-domain subgraphs, each probed locally
+// by a gateway peer of its domain, and commits the resulting distributed
+// soft-state reservations with a presumed-abort two-phase commit.
+//
+// Roles: every domain designates its first Gateways members as gateway
+// peers. Gateway peers bridge domains — they run the participant Agent that
+// converts a locally probed sub-session into a held reservation (prepare)
+// and promotes or releases it (commit/abort). The first gateway additionally
+// hosts the domain Coordinator, which advertises the domain's function set
+// to the other coordinators, splits and stitches cross-domain requests, and
+// drives the two-phase commit for requests originating in its domain. Every
+// peer carries a thin Client that forwards compositions to its coordinator.
+//
+// Fault tolerance is timeout-driven presumed abort: a held reservation that
+// hears no decision self-releases after the hold window, a coordinator that
+// collects no quorum of votes aborts, and committed sessions are bounded
+// leases (they self-release at end of life, with a per-holder TTL backstop
+// in BCP), so no reservation outlives its session even when a gateway or
+// coordinator crashes mid-protocol.
+package federation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec is the compact command-line form of a federated deployment, as
+// accepted by the -domains flag:
+//
+//	domains=4,gateways=2,hold=10s,life=30s
+//
+// Keys may appear in any order, each at most once. domains is the number of
+// administrative domains (>= 2); gateways the gateway peers per domain
+// (default 1); hold overrides the prepare-hold window and life the committed
+// session lifetime (both default to the Config values). String renders the
+// canonical form (fixed key order, zero-valued keys omitted), and Plan
+// expands the spec into a DomainPlan over a peer count.
+type Spec struct {
+	Domains  int           // administrative domains (>= 2)
+	Gateways int           // gateway peers per domain; 0 = default 1
+	Hold     time.Duration // prepare-hold window override; 0 = Config default
+	Life     time.Duration // committed session lifetime override; 0 = Config default
+}
+
+// ParseSpec parses the -domains grammar. The empty string is an error — "no
+// federation" is expressed by not passing the flag at all.
+func ParseSpec(s string) (*Spec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty domain spec (want e.g. %q)", "domains=4,gateways=2")
+	}
+	spec := &Spec{}
+	seen := make(map[string]bool)
+	for _, field := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok || key == "" || val == "" {
+			return nil, fmt.Errorf("domain spec field %q: want key=value", field)
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("domain spec key %q given twice", key)
+		}
+		seen[key] = true
+		switch key {
+		case "domains", "gateways":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("domain spec %s=%q: %v", key, val, err)
+			}
+			if key == "domains" {
+				if n < 2 {
+					return nil, fmt.Errorf("domain spec domains=%d: want at least 2", n)
+				}
+				spec.Domains = n
+			} else {
+				if n < 1 {
+					return nil, fmt.Errorf("domain spec gateways=%d: want at least 1", n)
+				}
+				spec.Gateways = n
+			}
+		case "hold", "life":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("domain spec %s=%q: %v", key, val, err)
+			}
+			if d < 0 {
+				return nil, fmt.Errorf("domain spec %s=%v: negative", key, d)
+			}
+			if key == "hold" {
+				spec.Hold = d
+			} else {
+				spec.Life = d
+			}
+		default:
+			return nil, fmt.Errorf("domain spec key %q: want domains, gateways, hold, or life", key)
+		}
+	}
+	if spec.Domains == 0 {
+		return nil, fmt.Errorf("domain spec %q: missing required key domains", s)
+	}
+	return spec, nil
+}
+
+// String renders the canonical spec: fixed key order, zero-valued keys
+// omitted. ParseSpec(s.String()) reproduces s for any spec with at least one
+// non-zero field.
+func (s *Spec) String() string {
+	var parts []string
+	if s.Domains != 0 {
+		parts = append(parts, "domains="+strconv.Itoa(s.Domains))
+	}
+	if s.Gateways != 0 {
+		parts = append(parts, "gateways="+strconv.Itoa(s.Gateways))
+	}
+	if s.Hold != 0 {
+		parts = append(parts, "hold="+s.Hold.String())
+	}
+	if s.Life != 0 {
+		parts = append(parts, "life="+s.Life.String())
+	}
+	return strings.Join(parts, ",")
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/p2p"
 )
 
 // Violation is one broken trace invariant: a stable machine-checkable name
@@ -29,6 +31,12 @@ const (
 	VioDoneBeforeStart   = "done-before-start"
 	VioMultipleDone      = "multiple-done"
 	VioCounterMismatch   = "counter-mismatch"
+
+	VioFedDoublePrepare  = "fed-double-prepare"
+	VioFedDoubleResolve  = "fed-double-resolve"
+	VioFedResolveNoPrep  = "fed-resolve-without-prepare"
+	VioFedUnresolved     = "fed-unresolved-prepare"
+	VioFedDomainMismatch = "fed-domain-mismatch"
 )
 
 // Check replays a trace and verifies protocol invariants that must hold on
@@ -50,7 +58,14 @@ const (
 //   - a session establishes only after at least one peer admitted it
 //     (session.admit at or before session.establish);
 //   - compose.done happens at most once per request, after its
-//     compose.start.
+//     compose.start;
+//   - the federation two-phase commit leaks nothing: every fed.prepare
+//     (keyed by its sub-session PID) is resolved by exactly one fed.commit
+//     or fed.abort — including the presumed-abort expiry, which traces as
+//     fed.abort with note "expire" — at the same node and domain, at or
+//     after the prepare. The only excused unresolved prepare is one whose
+//     holding gateway crashed (a net.down record at or after the prepare):
+//     a dead peer cannot emit its own release.
 //
 // Traces cut off mid-run (a simulator duration expiring with probes in
 // flight) can legitimately fail the conservation check; the seeded CI runs
@@ -76,8 +91,28 @@ func Check(events []Event) []Violation {
 	extraCopies := make(map[uint64]int)
 	wireDrops := make(map[uint64]int)
 	var strayPIDs []uint64 // drop/retx/fault records naming unemitted pids
+	// Federation 2PC lifecycle, keyed by sub-session PID.
+	fedPrep := make(map[uint64]Event)
+	fedPrepCount := make(map[uint64]int)
+	fedResolve := make(map[uint64]Event)
+	fedResolveCount := make(map[uint64]int)
+	downs := make(map[p2p.NodeID][]time.Duration)
 
 	for _, ev := range events {
+		switch ev.Kind {
+		case KindFedPrepare:
+			if fedPrepCount[ev.PID] == 0 {
+				fedPrep[ev.PID] = ev
+			}
+			fedPrepCount[ev.PID]++
+		case KindFedCommit, KindFedAbort:
+			if fedResolveCount[ev.PID] == 0 {
+				fedResolve[ev.PID] = ev
+			}
+			fedResolveCount[ev.PID]++
+		case KindNetDown:
+			downs[ev.Node] = append(downs[ev.Node], ev.TS)
+		}
 		switch ev.Kind {
 		case KindProbeSent, KindProbeForwarded:
 			if ev.PID == 0 {
@@ -241,6 +276,57 @@ func Check(events []Event) []Violation {
 		doneSeen[ev.Req] = true
 	}
 
+	// Federation 2PC lifecycle, in sub-session PID order.
+	fedPIDs := make([]uint64, 0, len(fedPrep)+len(fedResolve))
+	for pid := range fedPrep {
+		fedPIDs = append(fedPIDs, pid)
+	}
+	for pid := range fedResolve {
+		if _, ok := fedPrep[pid]; !ok {
+			fedPIDs = append(fedPIDs, pid)
+		}
+	}
+	sort.Slice(fedPIDs, func(i, j int) bool { return fedPIDs[i] < fedPIDs[j] })
+	for _, pid := range fedPIDs {
+		prep, prepared := fedPrep[pid]
+		res, resolved := fedResolve[pid]
+		if n := fedPrepCount[pid]; n > 1 {
+			vs = append(vs, Violation{VioFedDoublePrepare,
+				fmt.Sprintf("sub=%d (fed=%d) prepared %d times", pid, prep.Req, n)})
+		}
+		if n := fedResolveCount[pid]; n > 1 {
+			vs = append(vs, Violation{VioFedDoubleResolve,
+				fmt.Sprintf("sub=%d (fed=%d) resolved %d times", pid, res.Req, n)})
+		}
+		switch {
+		case resolved && !prepared:
+			vs = append(vs, Violation{VioFedResolveNoPrep,
+				fmt.Sprintf("%s sub=%d (fed=%d) at t=%v without fed.prepare", res.Kind, pid, res.Req, res.TS)})
+		case resolved && res.TS < prep.TS:
+			vs = append(vs, Violation{VioFedResolveNoPrep,
+				fmt.Sprintf("%s sub=%d at t=%v precedes fed.prepare at t=%v", res.Kind, pid, res.TS, prep.TS)})
+		case resolved && (res.Node != prep.Node || res.Dom != prep.Dom):
+			vs = append(vs, Violation{VioFedDomainMismatch,
+				fmt.Sprintf("sub=%d prepared at node=%d dom=%d but resolved at node=%d dom=%d",
+					pid, prep.Node, prep.Domain(), res.Node, res.Domain())})
+		case !resolved:
+			// A prepare may go unresolved only if its holding gateway
+			// crashed after preparing — a dead peer cannot emit the release.
+			crashed := false
+			for _, t := range downs[prep.Node] {
+				if t >= prep.TS {
+					crashed = true
+					break
+				}
+			}
+			if !crashed {
+				vs = append(vs, Violation{VioFedUnresolved,
+					fmt.Sprintf("fed.prepare sub=%d (fed=%d) at t=%v node=%d never committed, aborted, or expired",
+						pid, prep.Req, prep.TS, prep.Node)})
+			}
+		}
+	}
+
 	// Sessions admit before they establish.
 	for _, ev := range estabs {
 		t, ok := admitMin[ev.Req]
@@ -263,6 +349,7 @@ func Check(events []Event) []Violation {
 // trace records and are skipped).
 func CheckTotals(events []Event, tot Counters) []Violation {
 	var sent, dropped, returned, budget, retx, dhtHops, netDrops, faults int64
+	var fedPrepares, fedCommits, fedAborts int64
 	for _, ev := range events {
 		switch ev.Kind {
 		case KindProbeSent, KindProbeForwarded:
@@ -280,6 +367,12 @@ func CheckTotals(events []Event, tot Counters) []Violation {
 			netDrops++
 		case KindNetFault:
 			faults++
+		case KindFedPrepare:
+			fedPrepares++
+		case KindFedCommit:
+			fedCommits++
+		case KindFedAbort:
+			fedAborts++
 		}
 	}
 	var vs []Violation
@@ -297,5 +390,8 @@ func CheckTotals(events []Event, tot Counters) []Violation {
 	mismatch("dht hops", tot.DHTHops, dhtHops)
 	mismatch("messages dropped", tot.MsgsDrop, netDrops)
 	mismatch("faults injected", tot.Faults, faults)
+	mismatch("fed prepares", tot.FedPrepares, fedPrepares)
+	mismatch("fed commits", tot.FedCommits, fedCommits)
+	mismatch("fed aborts", tot.FedAborts, fedAborts)
 	return vs
 }

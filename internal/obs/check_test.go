@@ -299,3 +299,100 @@ func TestCheckTotalsFaults(t *testing.T) {
 		t.Fatalf("want 2 counter mismatches, got %v", vs)
 	}
 }
+
+// fedTrace is a minimal clean 2PC trace: request 9 prepares on two domains;
+// one segment commits, the other aborts (mixed outcomes are legal per
+// segment — the lifecycle invariant is per-prepare, not per-request).
+func fedTrace() []Event {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	sub := func(seg int) uint64 { return uint64(1)<<62 | 9<<4 | uint64(seg) }
+	return []Event{
+		FedPrepare(ms(1), 4, 9, sub(0), 0),
+		FedPrepare(ms(2), 11, 9, sub(1), 1),
+		FedCommit(ms(5), 4, 9, sub(0), 0),
+		FedAbort(ms(6), 11, 9, sub(1), 1, "expire"),
+	}
+}
+
+func TestCheckFedLifecycle(t *testing.T) {
+	if vs := Check(fedTrace()); len(vs) != 0 {
+		t.Fatalf("clean 2PC trace flagged: %v", vs)
+	}
+}
+
+func TestCheckFedViolations(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	sub := func(seg int) uint64 { return uint64(1)<<62 | 9<<4 | uint64(seg) }
+	cases := []struct {
+		name    string
+		corrupt func([]Event) []Event
+		want    string
+	}{
+		{"unresolved prepare", func(evs []Event) []Event {
+			// Drop the abort: sub(1) never resolves and its holder stays up.
+			return evs[:3]
+		}, VioFedUnresolved},
+		{"double prepare", func(evs []Event) []Event {
+			return append(evs, FedPrepare(ms(3), 4, 9, sub(0), 0))
+		}, VioFedDoublePrepare},
+		{"double resolve", func(evs []Event) []Event {
+			return append(evs, FedAbort(ms(7), 4, 9, sub(0), 0, "abort"))
+		}, VioFedDoubleResolve},
+		{"resolve without prepare", func(evs []Event) []Event {
+			return append(evs, FedCommit(ms(7), 4, 9, sub(2), 0))
+		}, VioFedResolveNoPrep},
+		{"resolve before prepare", func(evs []Event) []Event {
+			out := append([]Event(nil), evs...)
+			out[2].TS = 0 // commit stamped before its prepare
+			return out
+		}, VioFedResolveNoPrep},
+		{"domain mismatch", func(evs []Event) []Event {
+			out := append([]Event(nil), evs...)
+			out[2] = FedCommit(ms(5), 4, 9, sub(0), 1) // prepared in domain 0
+			return out
+		}, VioFedDomainMismatch},
+	}
+	for _, tc := range cases {
+		vs := Check(tc.corrupt(fedTrace()))
+		if !hasViolation(vs, tc.want) {
+			t.Errorf("%s: want %s, got %v", tc.name, tc.want, vs)
+		}
+	}
+}
+
+// TestCheckFedCrashExcusal: a prepare left unresolved because its holder
+// crashed is excused — the dead gateway cannot emit its own release, and the
+// BCP commit TTL reclaims the resources out of band.
+func TestCheckFedCrashExcusal(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	sub := uint64(1)<<62 | 9<<4
+	evs := []Event{
+		FedPrepare(ms(1), 4, 9, sub, 0),
+		NodeDown(ms(3), 4),
+	}
+	if vs := Check(evs); len(vs) != 0 {
+		t.Fatalf("crash-excused prepare flagged: %v", vs)
+	}
+	// A crash BEFORE the prepare excuses nothing (the node was up when it
+	// prepared, so it had every chance to resolve).
+	early := []Event{
+		NodeDown(0, 4),
+		FedPrepare(ms(1), 4, 9, sub, 0),
+	}
+	if vs := Check(early); !hasViolation(vs, VioFedUnresolved) {
+		t.Fatalf("pre-prepare crash excused the prepare: %v", vs)
+	}
+}
+
+func TestCheckTotalsFed(t *testing.T) {
+	evs := fedTrace()
+	good := Counters{FedPrepares: 2, FedCommits: 1, FedAborts: 1}
+	if vs := CheckTotals(evs, good); len(vs) != 0 {
+		t.Fatalf("consistent fed totals flagged: %v", vs)
+	}
+	bad := good
+	bad.FedCommits = 5
+	if vs := CheckTotals(evs, bad); !hasViolation(vs, VioCounterMismatch) {
+		t.Fatalf("fed counter drift not flagged: %v", vs)
+	}
+}

@@ -21,7 +21,9 @@
 //	rec.switchover / rec.reactive / rec.dead
 //	net.drop                            message to a dead or unknown peer
 //	net.fault                           injected loss/dup/jitter/partition
+//	net.down / net.up                   node crash / recovery
 //	probe.retransmit                    per-hop probe retransmit (same PID)
+//	fed.prepare / fed.commit / fed.abort  federation two-phase commit
 package obs
 
 import (
@@ -56,7 +58,12 @@ const (
 	KindRecDead        = "rec.dead"
 	KindNetDrop        = "net.drop"
 	KindNetFault       = "net.fault"
+	KindNetDown        = "net.down"
+	KindNetUp          = "net.up"
 	KindProbeRetx      = "probe.retransmit"
+	KindFedPrepare     = "fed.prepare"
+	KindFedCommit      = "fed.commit"
+	KindFedAbort       = "fed.abort"
 )
 
 // Fault kinds carried in a net.fault event's Note field.
@@ -99,8 +106,21 @@ type Event struct {
 	Bytes int `json:"bytes,omitempty"`
 	// Dur is a measured duration (e.g. recovery time).
 	Dur time.Duration `json:"dur,omitempty"`
+	// Dom is the administrative domain a federation event belongs to,
+	// offset by one so domain 0 survives omitempty (Domain()/WithDomain
+	// handle the bias).
+	Dom int `json:"dom,omitempty"`
 	// Note carries a short reason or free-form detail.
 	Note string `json:"note,omitempty"`
+}
+
+// Domain returns the administrative domain the event carries, -1 if none.
+func (e *Event) Domain() int { return e.Dom - 1 }
+
+// WithDomain returns a copy of the event tagged with domain d.
+func (e Event) WithDomain(d int) Event {
+	e.Dom = d + 1
+	return e
 }
 
 // UnmarshalJSON decodes an event, defaulting the optional Peer field to
@@ -252,6 +272,40 @@ func NetDrop(ts time.Duration, from, to p2p.NodeID, msgType string, bytes int, u
 func NetFault(ts time.Duration, from, to p2p.NodeID, kind, msgType string, bytes int, uid uint64) Event {
 	return Event{TS: ts, Kind: KindNetFault, Node: from, Peer: to, Bytes: bytes,
 		Note: kind, Comp: msgType, PID: uid}
+}
+
+// NodeDown records a peer crashing (fault injection or scripted failure).
+// Trace checkers use it to excuse protocol exchanges the dead peer can no
+// longer finish.
+func NodeDown(ts time.Duration, node p2p.NodeID) Event {
+	return Event{TS: ts, Kind: KindNetDown, Node: node, Peer: p2p.NoNode}
+}
+
+// NodeUp records a crashed peer coming back.
+func NodeUp(ts time.Duration, node p2p.NodeID) Event {
+	return Event{TS: ts, Kind: KindNetUp, Node: node, Peer: p2p.NoNode}
+}
+
+// FedPrepare records a gateway converting a probed sub-session into a held
+// reservation: fed is the federated request, sub the per-domain sub-session
+// identity (carried in PID), dom the participant's domain.
+func FedPrepare(ts time.Duration, node p2p.NodeID, fed, sub uint64, dom int) Event {
+	return Event{TS: ts, Kind: KindFedPrepare, Node: node, Req: fed, PID: sub,
+		Peer: p2p.NoNode}.WithDomain(dom)
+}
+
+// FedCommit records a held reservation being promoted into a committed
+// session.
+func FedCommit(ts time.Duration, node p2p.NodeID, fed, sub uint64, dom int) Event {
+	return Event{TS: ts, Kind: KindFedCommit, Node: node, Req: fed, PID: sub,
+		Peer: p2p.NoNode}.WithDomain(dom)
+}
+
+// FedAbort records a held reservation being released: reason "abort" for an
+// explicit coordinator decision, "expire" for the presumed-abort timeout.
+func FedAbort(ts time.Duration, node p2p.NodeID, fed, sub uint64, dom int, reason string) Event {
+	return Event{TS: ts, Kind: KindFedAbort, Node: node, Req: fed, PID: sub,
+		Peer: p2p.NoNode, Note: reason}.WithDomain(dom)
 }
 
 // ProbeRetx records a per-hop retransmit of an unacknowledged probe-carrying

@@ -31,6 +31,10 @@ type NodeCounters struct {
 	DHTHops atomic.Int64 // DHT messages this node forwarded
 
 	Faults atomic.Int64 // injected network faults on messages this node sent
+
+	FedPrepares atomic.Int64 // federation holds this gateway prepared
+	FedCommits  atomic.Int64 // holds promoted to committed sessions
+	FedAborts   atomic.Int64 // holds released (explicit abort or expiry)
 }
 
 // Snapshot reads every counter once and returns a plain copyable value.
@@ -48,6 +52,9 @@ func (c *NodeCounters) Snapshot() Counters {
 		ProbesShed:     c.ProbesShed.Load(),
 		DHTHops:        c.DHTHops.Load(),
 		Faults:         c.Faults.Load(),
+		FedPrepares:    c.FedPrepares.Load(),
+		FedCommits:     c.FedCommits.Load(),
+		FedAborts:      c.FedAborts.Load(),
 	}
 }
 
@@ -70,6 +77,10 @@ type Counters struct {
 	DHTHops int64
 
 	Faults int64
+
+	FedPrepares int64
+	FedCommits  int64
+	FedAborts   int64
 }
 
 // Add accumulates o into c.
@@ -86,6 +97,9 @@ func (c *Counters) Add(o Counters) {
 	c.ProbesShed += o.ProbesShed
 	c.DHTHops += o.DHTHops
 	c.Faults += o.Faults
+	c.FedPrepares += o.FedPrepares
+	c.FedCommits += o.FedCommits
+	c.FedAborts += o.FedAborts
 }
 
 // Registry hands out per-node counter blocks and rolls them up into the
@@ -169,6 +183,11 @@ func (r *Registry) Table(title string) *metrics.Table {
 	t.AddRow("probes shed", tot.ProbesShed)
 	t.AddRow("dht hops", tot.DHTHops)
 	t.AddRow("faults injected", tot.Faults)
+	if tot.FedPrepares != 0 || tot.FedCommits != 0 || tot.FedAborts != 0 {
+		t.AddRow("fed prepares", tot.FedPrepares)
+		t.AddRow("fed commits", tot.FedCommits)
+		t.AddRow("fed aborts", tot.FedAborts)
+	}
 	return t
 }
 

@@ -140,6 +140,9 @@ func (nw *Network) Fail(id p2p.NodeID) {
 	if n, ok := nw.nodes[id]; ok && n.alive {
 		n.alive = false
 		n.epoch++
+		if nw.trace != nil {
+			nw.trace.Emit(obs.NodeDown(nw.sim.Now(), id))
+		}
 	}
 }
 
@@ -149,6 +152,9 @@ func (nw *Network) Fail(id p2p.NodeID) {
 func (nw *Network) Recover(id p2p.NodeID) {
 	if n, ok := nw.nodes[id]; ok && !n.alive {
 		n.alive = true
+		if nw.trace != nil {
+			nw.trace.Emit(obs.NodeUp(nw.sim.Now(), id))
+		}
 	}
 }
 

@@ -2,11 +2,15 @@
 # bench_diff.sh — compare two BENCH_*.json files produced by
 # `spiderbench -bench` and report per-op regressions.
 #
-# Usage: bench_diff.sh [-t tolerance] OLD.json NEW.json
+# Usage: bench_diff.sh [-t tolerance] [-o op] OLD.json NEW.json
 #
 #   -t tolerance   fractional slowdown allowed before an op counts as a
 #                  regression (default 0.15 = 15%). Applied to both ns/op
 #                  and allocs/op.
+#   -o op          compare only this op (exact name, e.g. bcp/compose);
+#                  exits 2 if either file lacks it. Repeatable gates pin
+#                  a tight tolerance on one hot path this way without
+#                  subjecting every op to it.
 #
 # Only ops present in both files are compared; ops that appear or disappear
 # are listed informationally. Exit status is 1 if any common op regressed
@@ -14,16 +18,18 @@
 set -eu
 
 tol=0.15
-while getopts t: opt; do
+only=""
+while getopts t:o: opt; do
     case "$opt" in
     t) tol="$OPTARG" ;;
-    *) echo "usage: $0 [-t tolerance] OLD.json NEW.json" >&2; exit 2 ;;
+    o) only="$OPTARG" ;;
+    *) echo "usage: $0 [-t tolerance] [-o op] OLD.json NEW.json" >&2; exit 2 ;;
     esac
 done
 shift $((OPTIND - 1))
 
 if [ $# -ne 2 ]; then
-    echo "usage: $0 [-t tolerance] OLD.json NEW.json" >&2
+    echo "usage: $0 [-t tolerance] [-o op] OLD.json NEW.json" >&2
     exit 2
 fi
 old="$1"
@@ -43,6 +49,15 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 flat "$old" | sort > "$tmp/old"
 flat "$new" | sort > "$tmp/new"
+
+if [ -n "$only" ]; then
+    awk -v op="$only" '$1 == op' "$tmp/old" > "$tmp/old.f" && mv "$tmp/old.f" "$tmp/old"
+    awk -v op="$only" '$1 == op' "$tmp/new" > "$tmp/new.f" && mv "$tmp/new.f" "$tmp/new"
+    if ! [ -s "$tmp/old" ] || ! [ -s "$tmp/new" ]; then
+        echo "bench_diff: op $only missing from one of the files" >&2
+        exit 2
+    fi
+fi
 
 join "$tmp/old" "$tmp/new" > "$tmp/common"
 join -v1 "$tmp/old" "$tmp/new" | awk '{print "  only in old: " $1}'
