@@ -27,6 +27,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/simnet"
 )
 
@@ -273,5 +274,18 @@ func main() {
 	if reg != nil {
 		reg.Table("per-layer counters (all nodes)").Render(os.Stdout)
 		reg.PerNodeTable("busiest nodes", 10).Render(os.Stdout)
+	}
+	// With both -trace and -stats set, rebuild the span forest from the trace
+	// just written and report where the setup time went.
+	if tf != nil && reg != nil {
+		b := span.NewBuilder()
+		if err := obs.StreamTrace(*traceFile, func(ev obs.Event) error {
+			b.Add(ev)
+			return nil
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		span.PhaseTable(b.Build(), "setup-latency phases (from trace)").Render(os.Stdout)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/p2p"
 	"repro/internal/qos"
 	"repro/internal/recovery"
@@ -307,8 +308,14 @@ func run() error {
 		reg.Table("per-layer counters (all nodes)").Render(os.Stdout)
 		reg.PerNodeTable("busiest nodes", 10).Render(os.Stdout)
 		met.Table("distribution metrics").Render(os.Stdout)
+		met.PhaseTable("setup-latency phases (live histograms)").Render(os.Stdout)
 		s := obs.Summarize(mem.Events())
 		s.Table("trace summary").Render(os.Stdout)
+		b := span.NewBuilder()
+		for _, ev := range mem.Events() {
+			b.Add(ev)
+		}
+		span.PhaseTable(b.Build(), "setup-latency phases (span trees)").Render(os.Stdout)
 	}
 	if *check {
 		if hung := attempted - completed; hung > 0 {
@@ -357,12 +364,18 @@ func checkTraceFiles(paths []string, parallel int) error {
 				if i >= len(paths) {
 					return
 				}
-				events, err := obs.LoadTrace(paths[i])
+				c := obs.NewChecker()
+				n := 0
+				err := obs.StreamTrace(paths[i], func(ev obs.Event) error {
+					n++
+					c.Add(ev)
+					return nil
+				})
 				if err != nil {
 					outcomes[i] = outcome{err: err}
 					continue
 				}
-				outcomes[i] = outcome{n: len(events), vs: obs.Check(events)}
+				outcomes[i] = outcome{n: n, vs: c.Finish()}
 			}
 		}()
 	}
@@ -390,16 +403,23 @@ func reportViolations(what string, vs []obs.Violation) error {
 	return fmt.Errorf("check: %s: %d invariant violation(s)", what, len(vs))
 }
 
-// summarizeTrace reads a JSONL trace produced by -trace and prints the
-// per-request latency/overhead breakdown.
+// summarizeTrace reads a JSONL trace produced by -trace — streaming, so
+// multi-gigabyte sweep traces summarize in constant memory — and prints the
+// per-request latency/overhead breakdown plus the span-tree phase table.
 func summarizeTrace(path string) error {
-	events, err := obs.LoadTrace(path)
-	if err != nil {
+	z := obs.NewSummarizer()
+	b := span.NewBuilder()
+	if err := obs.StreamTrace(path, func(ev obs.Event) error {
+		z.Add(ev)
+		b.Add(ev)
+		return nil
+	}); err != nil {
 		return err
 	}
-	s := obs.Summarize(events)
+	s := z.Summary()
 	s.Table("trace summary: " + path).Render(os.Stdout)
 	s.RequestTable("per-request breakdown").Render(os.Stdout)
+	span.PhaseTable(b.Build(), "setup-latency phases").Render(os.Stdout)
 	return nil
 }
 

@@ -1,0 +1,111 @@
+// Command spidertrace analyzes SpiderNet trace files (.jsonl, optionally
+// gzipped): it rebuilds the causal span tree of every composition request and
+// reports where the setup time went. Traces are decoded streaming, so
+// multi-gigabyte sweep traces analyze in constant memory.
+//
+// Usage:
+//
+//	spidertrace <command> [flags] trace.jsonl[.gz]
+//
+// Commands:
+//
+//	summary            forest rollup: requests, outcomes, phase totals, orphans
+//	phases             per-phase latency breakdown across all requests
+//	slow [-k N]        top-k slowest requests with per-phase columns
+//	waterfall -req N   span waterfall of one request (federated subs nested)
+//	critical [-req N | -k N]   critical path of one request, or of the top-k slowest
+//
+// Every report is deterministic in the trace contents, so identically seeded
+// runs produce byte-identical output — CI diffs reports across reruns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spidertrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: spidertrace {summary|phases|slow [-k N]|waterfall -req N|critical [-req N|-k N]} trace.jsonl[.gz]")
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	k := fs.Int("k", 10, "how many requests to report")
+	req := fs.Uint64("req", 0, "request ID to inspect")
+	orphans := fs.Bool("orphans", false, "also list unattributable events")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usage()
+	}
+	path := fs.Arg(0)
+
+	f, err := buildForest(path)
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "summary":
+		span.Summary(f, "trace "+path).Render(os.Stdout)
+		if *orphans || len(f.Orphans) > 0 {
+			span.OrphanTable(f, "orphans").Render(os.Stdout)
+		}
+	case "phases":
+		span.PhaseTable(f, "setup-latency phases").Render(os.Stdout)
+	case "slow":
+		span.SlowTable(f, *k, fmt.Sprintf("top %d slowest requests", *k)).Render(os.Stdout)
+	case "waterfall":
+		if *req == 0 {
+			return fmt.Errorf("waterfall needs -req N")
+		}
+		t := f.Tree(*req)
+		if t == nil {
+			return fmt.Errorf("request %d not in trace", *req)
+		}
+		fmt.Print(span.Waterfall(t))
+	case "critical":
+		if *req != 0 {
+			t := f.Tree(*req)
+			if t == nil {
+				return fmt.Errorf("request %d not in trace", *req)
+			}
+			fmt.Print(span.Critical(t))
+			return nil
+		}
+		for _, t := range f.Slowest(*k) {
+			fmt.Print(span.Critical(t))
+		}
+	default:
+		return usage()
+	}
+	return nil
+}
+
+func buildForest(path string) (*span.Forest, error) {
+	b := span.NewBuilder()
+	if err := obs.StreamTrace(path, func(ev obs.Event) error {
+		b.Add(ev)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("read %s: %w", path, err)
+	}
+	return b.Build(), nil
+}

@@ -147,6 +147,15 @@ type Result struct {
 	DiscoveryTime time.Duration
 	ProbeTime     time.Duration
 	SetupTime     time.Duration
+	// Fine-grained phase partition of SetupTime for successful setups:
+	// DiscoveryTime + ProbePhase + CollectPhase + CommitPhase == SetupTime.
+	// ProbePhase runs from probe launch to the destination collecting its
+	// last probe, CollectPhase is the destination's residual wait before
+	// selection, CommitPhase is the reverse-path session commit back to the
+	// source. All zero when the destination's timing never reached us.
+	ProbePhase   time.Duration
+	CollectPhase time.Duration
+	CommitPhase  time.Duration
 }
 
 // Engine is one peer's BCP participant: it hosts components, processes
@@ -271,7 +280,12 @@ type composeState struct {
 	started   time.Duration
 	discovery time.Duration
 	probesOut time.Duration
-	giveUp    p2p.CancelFunc
+	// Destination-side phase boundaries, learned from MsgChosen: when the
+	// collector saw its last probe and when selection finished. The shared
+	// virtual clock makes them directly comparable to this peer's timestamps.
+	collectEnd time.Duration
+	selectAt   time.Duration
+	giveUp     p2p.CancelFunc
 	// chosen is the graph the destination selected, learned from MsgChosen
 	// in parallel with the reverse ACK. If the ACK chain dies on a failed
 	// peer, the give-up path tears this graph down so the peers that did
@@ -356,6 +370,9 @@ func (e *Engine) Compose(req *service.Request, cb func(Result)) {
 			if e.Met != nil && res.Ok {
 				e.Met.SetupLatency.ObserveDuration(res.SetupTime)
 				e.Met.DiscoveryLatency.ObserveDuration(res.DiscoveryTime)
+				e.Met.PhaseProbe.ObserveDuration(res.ProbePhase)
+				e.Met.PhaseCollect.ObserveDuration(res.CollectPhase)
+				e.Met.PhaseCommit.ObserveDuration(res.CommitPhase)
 			}
 			inner(res)
 		}
@@ -384,8 +401,11 @@ func (e *Engine) Compose(req *service.Request, cb func(Result)) {
 	for _, v := range req.Variants {
 		fns = append(fns, v.Functions()...)
 	}
-	e.discoverAllCached(fns, func(table registry.Table, ok bool) {
+	e.discoverAllCached(fns, req.ID, func(table registry.Table, ok bool) {
 		st.discovery = e.host.Now() - st.started
+		if e.Trace != nil {
+			e.Trace.Emit(obs.DiscDone(e.host.Now(), e.host.ID(), req.ID, ok, st.discovery))
+		}
 		if !ok {
 			delete(e.pending, req.ID)
 			st.giveUp()
@@ -397,8 +417,9 @@ func (e *Engine) Compose(req *service.Request, cb func(Result)) {
 }
 
 // discoverAllCached resolves function duplicate lists through the local
-// cache, falling back to DHT lookups.
-func (e *Engine) discoverAllCached(fns []string, cb func(registry.Table, bool)) {
+// cache, falling back to DHT lookups attributed to span (the composition
+// request the discovery serves).
+func (e *Engine) discoverAllCached(fns []string, span uint64, cb func(registry.Table, bool)) {
 	table := make(registry.Table, len(fns))
 	var missing []string
 	now := e.host.Now()
@@ -413,7 +434,7 @@ func (e *Engine) discoverAllCached(fns []string, cb func(registry.Table, bool)) 
 		cb(table, true)
 		return
 	}
-	e.reg.DiscoverAll(missing, e.cfg.DiscoveryTimeout, func(t registry.Table, ok bool) {
+	e.reg.DiscoverAllSpan(missing, span, e.cfg.DiscoveryTimeout, func(t registry.Table, ok bool) {
 		if !ok {
 			cb(nil, false)
 			return
@@ -481,17 +502,24 @@ func (e *Engine) launchProbes(st *composeState, table registry.Table) {
 }
 
 // onChosen records which graph the destination is confirming, so the
-// give-up path can release a partially committed session.
+// give-up path can release a partially committed session, plus the
+// destination's phase boundaries for the setup-latency breakdown.
 func (e *Engine) onChosen(_ p2p.Node, msg p2p.Message) {
 	ch := msg.Payload.(chosenMsg)
 	if st, ok := e.pending[ch.ReqID]; ok {
 		st.chosen = ch.Graph
+		st.collectEnd = ch.CollectEnd
+		st.selectAt = ch.SelectAt
 	}
 }
 
 type chosenMsg struct {
 	ReqID uint64
 	Graph *service.Graph
+	// CollectEnd is when the destination collected the request's last probe;
+	// SelectAt is when optimal composition selection completed.
+	CollectEnd time.Duration
+	SelectAt   time.Duration
 }
 
 // onResult delivers the final outcome to the waiting source callback.
@@ -514,6 +542,19 @@ func (e *Engine) onResult(_ p2p.Node, msg p2p.Message) {
 	res.DiscoveryTime = st.discovery
 	res.ProbeTime = st.probesOut - st.started
 	res.SetupTime = e.host.Now() - st.started
+	// Phase partition: discovery ends at probe launch (same event context),
+	// probing runs until the destination's last collected probe, collection
+	// until selection, commit until now. Monotone clamping keeps the four
+	// phases an exact non-negative partition of SetupTime even when a
+	// boundary is missing (e.g. the destination's timing never arrived).
+	if st.selectAt > 0 {
+		t1 := st.started + st.discovery
+		t2 := clampTS(st.collectEnd, t1, e.host.Now())
+		t3 := clampTS(st.selectAt, t2, e.host.Now())
+		res.ProbePhase = t2 - t1
+		res.CollectPhase = t3 - t2
+		res.CommitPhase = e.host.Now() - t3
+	}
 	if res.Ok {
 		// Admit the ingress service links (sender → the components serving
 		// the pattern's source functions). Best-effort: the stream degrades
@@ -720,6 +761,17 @@ func sortedFns(g *service.Graph) []int {
 	}
 	sort.Ints(fns)
 	return fns
+}
+
+// clampTS bounds a destination-reported timestamp into [lo, hi].
+func clampTS(ts, lo, hi time.Duration) time.Duration {
+	if ts < lo {
+		return lo
+	}
+	if ts > hi {
+		return hi
+	}
+	return ts
 }
 
 // reqFromGraph recovers the per-component requirement attached to the graph

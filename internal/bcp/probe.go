@@ -185,7 +185,7 @@ func (e *Engine) onProbe(_ p2p.Node, msg p2p.Message) {
 	for i, s := range succs {
 		names[i] = pr.Pattern.Function(s)
 	}
-	e.discoverAllCached(names, func(table registry.Table, ok bool) {
+	e.discoverAllCached(names, pr.ReqID, func(table registry.Table, ok bool) {
 		if !ok {
 			e.dropProbe(&pr, "discovery")
 			return

@@ -17,6 +17,10 @@ type collector struct {
 	req     *service.Request
 	records []Probe
 	done    bool
+	// lastAt is when the most recent probe was collected — the boundary
+	// between the probe fan-out and residual collection-wait phases in the
+	// setup-latency breakdown reported back to the source.
+	lastAt time.Duration
 }
 
 func (e *Engine) onReport(_ p2p.Node, msg p2p.Message) {
@@ -43,8 +47,9 @@ func (e *Engine) onReport(_ p2p.Node, msg p2p.Message) {
 	}
 	if e.Trace != nil {
 		e.Trace.Emit(obs.ProbeCollected(e.host.Now(), e.host.ID(), pr.ReqID,
-			msg.From, len(pr.Visited)))
+			msg.From, len(pr.Visited), pr.UID))
 	}
+	col.lastAt = e.host.Now()
 	col.records = append(col.records, pr)
 }
 
@@ -123,9 +128,10 @@ func (e *Engine) finishCollect(reqID uint64) {
 
 	// Tell the sender which graph is being confirmed (in parallel with the
 	// ACK), so a broken ACK chain can be rolled back from the sender side.
+	// The phase boundaries ride along for the setup-latency breakdown.
 	e.host.Send(p2p.Message{
 		Type: MsgChosen, To: req.Source, Size: 96,
-		Payload: chosenMsg{ReqID: reqID, Graph: best},
+		Payload: chosenMsg{ReqID: reqID, Graph: best, CollectEnd: col.lastAt, SelectAt: e.host.Now()},
 	})
 	// Reverse-path session setup (§4.1 step 4): the ACK visits the chosen
 	// components sink-first, hardening each soft reservation.

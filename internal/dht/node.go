@@ -35,10 +35,13 @@ type Entry struct {
 }
 
 // RouteMsg is the envelope routed greedily toward Key. Exactly one of Put,
-// Get, Join is set.
+// Get, Join is set. Span carries the composition-request ID the lookup is
+// serving (0 for maintenance traffic) so every hop's trace event can be
+// attributed to the request's span tree.
 type RouteMsg struct {
 	Key  ID
 	Hops int
+	Span uint64
 	Put  *PutPayload
 	Get  *GetPayload
 	Join *JoinPayload
@@ -111,6 +114,7 @@ type Node struct {
 
 type getReq struct {
 	key      ID
+	span     uint64 // composition request the lookup serves, for trace spans
 	cb       func(items []any, hops int, ok bool)
 	cancel   p2p.CancelFunc
 	retried  bool
@@ -271,7 +275,7 @@ func (n *Node) forwardOrDeliver(rm RouteMsg) {
 func (n *Node) routeVia(rm RouteMsg, next Entry) p2p.NodeID {
 	if next.Addr == p2p.NoNode {
 		if n.Trace != nil {
-			n.Trace.Emit(obs.DHTDeliver(n.host.Now(), n.self.Addr, rm.Hops, payloadKind(rm)))
+			n.Trace.Emit(obs.DHTDeliver(n.host.Now(), n.self.Addr, rm.Span, rm.Hops, payloadKind(rm)))
 		}
 		n.deliver(rm)
 		return p2p.NoNode
@@ -281,7 +285,7 @@ func (n *Node) routeVia(rm RouteMsg, next Entry) p2p.NodeID {
 		n.Ctr.DHTHops.Add(1)
 	}
 	if n.Trace != nil {
-		n.Trace.Emit(obs.DHTHop(n.host.Now(), n.self.Addr, next.Addr, rm.Hops, payloadKind(rm)))
+		n.Trace.Emit(obs.DHTHop(n.host.Now(), n.self.Addr, next.Addr, rm.Span, rm.Hops, payloadKind(rm)))
 	}
 	n.host.Send(p2p.Message{Type: MsgRoute, To: next.Addr, Size: routeSize + payloadSize(rm), Payload: rm})
 	return next.Addr
@@ -415,24 +419,31 @@ func (n *Node) Put(key ID, item any, size int) {
 // items and hop count on success, or ok=false after two timeouts. The call
 // is asynchronous; cb runs on this node's event context.
 func (n *Node) Get(key ID, timeout time.Duration, cb func(items []any, hops int, ok bool)) {
+	n.GetSpan(key, 0, timeout, cb)
+}
+
+// GetSpan is Get with the composition-request ID the lookup serves attached;
+// every routing and timeout event it emits carries span, so trace span trees
+// can claim the lookup as a child of the request.
+func (n *Node) GetSpan(key ID, span uint64, timeout time.Duration, cb func(items []any, hops int, ok bool)) {
 	n.nextReq++
 	id := n.nextReq
-	req := &getReq{key: key, cb: cb, timeout: timeout, started: n.host.Now()}
+	req := &getReq{key: key, span: span, cb: cb, timeout: timeout, started: n.host.Now()}
 	n.pending[id] = req
 	req.cancel = n.host.After(timeout, func() { n.getTimeout(id) })
-	req.firstHop = n.sendGet(id, key, p2p.NoNode)
+	req.firstHop = n.sendGet(id, key, span, p2p.NoNode)
 }
 
 // sendGet routes a get toward key's root, avoiding one first hop (NoNode =
 // unconstrained), and returns the hop actually used. When exclusion leaves
 // no viable route the unexcluded route is used after all: forcing local
 // delivery at a non-root node would fabricate an empty result.
-func (n *Node) sendGet(reqID uint64, key ID, avoid p2p.NodeID) p2p.NodeID {
+func (n *Node) sendGet(reqID uint64, key ID, span uint64, avoid p2p.NodeID) p2p.NodeID {
 	next := n.nextHopExcluding(key, avoid)
 	if next.Addr == p2p.NoNode && avoid != p2p.NoNode {
 		next = n.nextHop(key)
 	}
-	return n.routeVia(RouteMsg{Key: key, Get: &GetPayload{ReqID: reqID, Origin: n.self.Addr}}, next)
+	return n.routeVia(RouteMsg{Key: key, Span: span, Get: &GetPayload{ReqID: reqID, Origin: n.self.Addr}}, next)
 }
 
 func (n *Node) getTimeout(id uint64) {
@@ -443,17 +454,17 @@ func (n *Node) getTimeout(id uint64) {
 	if !req.retried {
 		req.retried = true
 		if n.Trace != nil {
-			n.Trace.Emit(obs.DHTGetTimeout(n.host.Now(), n.self.Addr, true))
+			n.Trace.Emit(obs.DHTGetTimeout(n.host.Now(), n.self.Addr, req.span, true))
 		}
 		req.cancel = n.host.After(req.timeout, func() { n.getTimeout(id) })
 		// Retry via a different routing-table entry: the first hop may be
 		// unreachable (partitioned, overloaded) without being seen as dead.
-		n.sendGet(id, req.key, req.firstHop)
+		n.sendGet(id, req.key, req.span, req.firstHop)
 		return
 	}
 	delete(n.pending, id)
 	if n.Trace != nil {
-		n.Trace.Emit(obs.DHTGetTimeout(n.host.Now(), n.self.Addr, false))
+		n.Trace.Emit(obs.DHTGetTimeout(n.host.Now(), n.self.Addr, req.span, false))
 	}
 	req.cb(nil, 0, false)
 }

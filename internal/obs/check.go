@@ -71,122 +71,165 @@ const (
 // flight) can legitimately fail the conservation check; the seeded CI runs
 // are sized so all probing settles before the cutoff.
 func Check(events []Event) []Violation {
-	var vs []Violation
-
-	type emission struct {
-		req    uint64
-		ppid   uint64
-		budget int
+	c := NewChecker()
+	for _, ev := range events {
+		c.Add(ev)
 	}
-	emitted := make(map[uint64]emission)
-	terms := make(map[uint64]int)
-	children := make(map[uint64]int) // pid -> child emissions split from it
-	starts := make(map[uint64]Event)
-	var dones []Event
-	admitMin := make(map[uint64]time.Duration)
-	var estabs []Event
+	return c.Finish()
+}
+
+type emission struct {
+	req    uint64
+	ppid   uint64
+	budget int
+}
+
+// Checker is the streaming form of Check: feed events with Add as they are
+// decoded, then call Finish for the verdict. Working state is O(protocol
+// units), not O(events), so multi-GB traces check in bounded memory.
+type Checker struct {
+	vs []Violation
+
+	emitted  map[uint64]emission
+	terms    map[uint64]int
+	children map[uint64]int // pid -> child emissions split from it
+	starts   map[uint64]Event
+	dones    []Event
+	admitMin map[uint64]time.Duration
+	estabs   []Event
 	// Per-PID wire-copy accounting: a probe starts with one copy at
 	// emission; retransmits and injected duplications add copies; net.drop
 	// and lethal net.fault records (loss, partition) consume them.
-	extraCopies := make(map[uint64]int)
-	wireDrops := make(map[uint64]int)
-	var strayPIDs []uint64 // drop/retx/fault records naming unemitted pids
+	extraCopies map[uint64]int
+	wireDrops   map[uint64]int
+	strayPIDs   []uint64 // drop/retx/fault records naming unemitted pids
 	// Federation 2PC lifecycle, keyed by sub-session PID.
-	fedPrep := make(map[uint64]Event)
-	fedPrepCount := make(map[uint64]int)
-	fedResolve := make(map[uint64]Event)
-	fedResolveCount := make(map[uint64]int)
-	downs := make(map[p2p.NodeID][]time.Duration)
+	fedPrep         map[uint64]Event
+	fedPrepCount    map[uint64]int
+	fedResolve      map[uint64]Event
+	fedResolveCount map[uint64]int
+	downs           map[p2p.NodeID][]time.Duration
+}
 
-	for _, ev := range events {
-		switch ev.Kind {
-		case KindFedPrepare:
-			if fedPrepCount[ev.PID] == 0 {
-				fedPrep[ev.PID] = ev
-			}
-			fedPrepCount[ev.PID]++
-		case KindFedCommit, KindFedAbort:
-			if fedResolveCount[ev.PID] == 0 {
-				fedResolve[ev.PID] = ev
-			}
-			fedResolveCount[ev.PID]++
-		case KindNetDown:
-			downs[ev.Node] = append(downs[ev.Node], ev.TS)
-		}
-		switch ev.Kind {
-		case KindProbeSent, KindProbeForwarded:
-			if ev.PID == 0 {
-				vs = append(vs, Violation{VioProbeMissingPID,
-					fmt.Sprintf("%s at t=%v node=%d req=%d has no pid", ev.Kind, ev.TS, ev.Node, ev.Req)})
-				continue
-			}
-			if _, dup := emitted[ev.PID]; dup {
-				vs = append(vs, Violation{VioProbeDuplicatePID,
-					fmt.Sprintf("pid=%d emitted twice (req=%d)", ev.PID, ev.Req)})
-				continue
-			}
-			emitted[ev.PID] = emission{req: ev.Req, ppid: ev.PPID, budget: ev.Budget}
-			if ev.PPID != 0 {
-				children[ev.PPID]++
-			}
-		case KindProbeDropped, KindProbeReturned:
-			if ev.PID == 0 {
-				vs = append(vs, Violation{VioProbeMissingPID,
-					fmt.Sprintf("%s at t=%v node=%d req=%d has no pid", ev.Kind, ev.TS, ev.Node, ev.Req)})
-				continue
-			}
-			terms[ev.PID]++
-		case KindComposeStart:
-			if _, seen := starts[ev.Req]; !seen {
-				starts[ev.Req] = ev
-			}
-		case KindComposeDone:
-			dones = append(dones, ev)
-		case KindSessionAdmit:
-			if t, ok := admitMin[ev.Req]; !ok || ev.TS < t {
-				admitMin[ev.Req] = ev.TS
-			}
-		case KindSessionEstab:
-			estabs = append(estabs, ev)
-		case KindNetDrop:
-			if ev.Note == "bcp.probe" {
-				if ev.PID == 0 {
-					vs = append(vs, Violation{VioProbeMissingPID,
-						fmt.Sprintf("net.drop of bcp.probe at t=%v %d->%d has no pid", ev.TS, ev.Node, ev.Peer)})
-					continue
-				}
-				wireDrops[ev.PID]++
-				strayPIDs = append(strayPIDs, ev.PID)
-			}
-		case KindNetFault:
-			if ev.Comp != "bcp.probe" {
-				continue
-			}
-			if ev.PID == 0 {
-				vs = append(vs, Violation{VioProbeMissingPID,
-					fmt.Sprintf("net.fault(%s) of bcp.probe at t=%v %d->%d has no pid", ev.Note, ev.TS, ev.Node, ev.Peer)})
-				continue
-			}
-			switch ev.Note {
-			case FaultLoss, FaultPartition:
-				wireDrops[ev.PID]++
-			case FaultDup:
-				extraCopies[ev.PID]++
-			}
-			strayPIDs = append(strayPIDs, ev.PID)
-		case KindProbeRetx:
-			if ev.Comp != "bcp.probe" {
-				continue
-			}
-			if ev.PID == 0 {
-				vs = append(vs, Violation{VioProbeMissingPID,
-					fmt.Sprintf("probe.retransmit at t=%v node=%d req=%d has no pid", ev.TS, ev.Node, ev.Req)})
-				continue
-			}
-			extraCopies[ev.PID]++
-			strayPIDs = append(strayPIDs, ev.PID)
-		}
+// NewChecker creates an empty streaming invariant checker.
+func NewChecker() *Checker {
+	return &Checker{
+		emitted:         make(map[uint64]emission),
+		terms:           make(map[uint64]int),
+		children:        make(map[uint64]int),
+		starts:          make(map[uint64]Event),
+		admitMin:        make(map[uint64]time.Duration),
+		extraCopies:     make(map[uint64]int),
+		wireDrops:       make(map[uint64]int),
+		fedPrep:         make(map[uint64]Event),
+		fedPrepCount:    make(map[uint64]int),
+		fedResolve:      make(map[uint64]Event),
+		fedResolveCount: make(map[uint64]int),
+		downs:           make(map[p2p.NodeID][]time.Duration),
 	}
+}
+
+// Add folds one event into the checker's state.
+func (c *Checker) Add(ev Event) {
+	switch ev.Kind {
+	case KindFedPrepare:
+		if c.fedPrepCount[ev.PID] == 0 {
+			c.fedPrep[ev.PID] = ev
+		}
+		c.fedPrepCount[ev.PID]++
+	case KindFedCommit, KindFedAbort:
+		if c.fedResolveCount[ev.PID] == 0 {
+			c.fedResolve[ev.PID] = ev
+		}
+		c.fedResolveCount[ev.PID]++
+	case KindNetDown:
+		c.downs[ev.Node] = append(c.downs[ev.Node], ev.TS)
+	}
+	switch ev.Kind {
+	case KindProbeSent, KindProbeForwarded:
+		if ev.PID == 0 {
+			c.vs = append(c.vs, Violation{VioProbeMissingPID,
+				fmt.Sprintf("%s at t=%v node=%d req=%d has no pid", ev.Kind, ev.TS, ev.Node, ev.Req)})
+			return
+		}
+		if _, dup := c.emitted[ev.PID]; dup {
+			c.vs = append(c.vs, Violation{VioProbeDuplicatePID,
+				fmt.Sprintf("pid=%d emitted twice (req=%d)", ev.PID, ev.Req)})
+			return
+		}
+		c.emitted[ev.PID] = emission{req: ev.Req, ppid: ev.PPID, budget: ev.Budget}
+		if ev.PPID != 0 {
+			c.children[ev.PPID]++
+		}
+	case KindProbeDropped, KindProbeReturned:
+		if ev.PID == 0 {
+			c.vs = append(c.vs, Violation{VioProbeMissingPID,
+				fmt.Sprintf("%s at t=%v node=%d req=%d has no pid", ev.Kind, ev.TS, ev.Node, ev.Req)})
+			return
+		}
+		c.terms[ev.PID]++
+	case KindComposeStart:
+		if _, seen := c.starts[ev.Req]; !seen {
+			c.starts[ev.Req] = ev
+		}
+	case KindComposeDone:
+		c.dones = append(c.dones, ev)
+	case KindSessionAdmit:
+		if t, ok := c.admitMin[ev.Req]; !ok || ev.TS < t {
+			c.admitMin[ev.Req] = ev.TS
+		}
+	case KindSessionEstab:
+		c.estabs = append(c.estabs, ev)
+	case KindNetDrop:
+		if ev.Note == "bcp.probe" {
+			if ev.PID == 0 {
+				c.vs = append(c.vs, Violation{VioProbeMissingPID,
+					fmt.Sprintf("net.drop of bcp.probe at t=%v %d->%d has no pid", ev.TS, ev.Node, ev.Peer)})
+				return
+			}
+			c.wireDrops[ev.PID]++
+			c.strayPIDs = append(c.strayPIDs, ev.PID)
+		}
+	case KindNetFault:
+		if ev.Comp != "bcp.probe" {
+			return
+		}
+		if ev.PID == 0 {
+			c.vs = append(c.vs, Violation{VioProbeMissingPID,
+				fmt.Sprintf("net.fault(%s) of bcp.probe at t=%v %d->%d has no pid", ev.Note, ev.TS, ev.Node, ev.Peer)})
+			return
+		}
+		switch ev.Note {
+		case FaultLoss, FaultPartition:
+			c.wireDrops[ev.PID]++
+		case FaultDup:
+			c.extraCopies[ev.PID]++
+		}
+		c.strayPIDs = append(c.strayPIDs, ev.PID)
+	case KindProbeRetx:
+		if ev.Comp != "bcp.probe" {
+			return
+		}
+		if ev.PID == 0 {
+			c.vs = append(c.vs, Violation{VioProbeMissingPID,
+				fmt.Sprintf("probe.retransmit at t=%v node=%d req=%d has no pid", ev.TS, ev.Node, ev.Req)})
+			return
+		}
+		c.extraCopies[ev.PID]++
+		c.strayPIDs = append(c.strayPIDs, ev.PID)
+	}
+}
+
+// Finish runs the whole-trace accounting over the accumulated state and
+// returns every violation found, including those reported during Add.
+func (c *Checker) Finish() []Violation {
+	vs := c.vs
+	emitted, terms, children := c.emitted, c.terms, c.children
+	starts, dones, admitMin, estabs := c.starts, c.dones, c.admitMin, c.estabs
+	extraCopies, wireDrops, strayPIDs := c.extraCopies, c.wireDrops, c.strayPIDs
+	fedPrep, fedPrepCount := c.fedPrep, c.fedPrepCount
+	fedResolve, fedResolveCount := c.fedResolve, c.fedResolveCount
+	downs := c.downs
 
 	// Probe accounting, in pid order for deterministic reports.
 	pids := make([]uint64, 0, len(emitted))

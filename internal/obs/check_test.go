@@ -23,7 +23,7 @@ func cleanTrace() []Event {
 		SessionAdmit(ms(6), 9, 42, "p9/fn2.1"),
 		SessionEstablish(ms(7), 3, 42, 2),
 		ComposeDone(ms(8), 3, 42, true, ms(8)),
-		DHTHop(ms(9), 2, 5, 1, "get"),
+		DHTHop(ms(9), 2, 5, 0, 1, "get"),
 	}
 }
 

@@ -333,8 +333,19 @@ type Metrics struct {
 	// the distribution behind the paper's Figure 10.
 	SetupLatency *Histogram
 	// DiscoveryLatency is the decentralized discovery phase duration of
-	// every composition, in milliseconds.
+	// every composition, in milliseconds — the first of the four setup
+	// phases (discovery → probe → collect → commit).
 	DiscoveryLatency *Histogram
+	// PhaseProbe is the probe fan-out phase of each successful composition:
+	// first probe emission to the destination's last collected report, in
+	// milliseconds.
+	PhaseProbe *Histogram
+	// PhaseCollect is the destination's residual collection window: last
+	// collected report to optimal-selection completion, in milliseconds.
+	PhaseCollect *Histogram
+	// PhaseCommit is the reverse-path session commit phase: selection done
+	// to the source receiving the established session, in milliseconds.
+	PhaseCommit *Histogram
 	// ProbeHops is the hop count of each probe that completed its branch
 	// and reported to the destination.
 	ProbeHops *Histogram
@@ -366,6 +377,9 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		SetupLatency:     NewHistogram("setup_latency_ms", "ms", latency),
 		DiscoveryLatency: NewHistogram("discovery_latency_ms", "ms", latency),
+		PhaseProbe:       NewHistogram("phase_probe_ms", "ms", latency),
+		PhaseCollect:     NewHistogram("phase_collect_ms", "ms", latency),
+		PhaseCommit:      NewHistogram("phase_commit_ms", "ms", latency),
 		ProbeHops:        NewHistogram("probe_hops", "hops", LinearBounds(1, 1, 16)),
 		ProbeBudget:      NewHistogram("probe_budget", "units", LinearBounds(1, 1, 16)),
 		DHTLookup:        NewHistogram("dht_lookup_ms", "ms", latency),
@@ -381,9 +395,29 @@ func NewMetrics() *Metrics {
 // deterministic rendering.
 func (m *Metrics) Histograms() []*Histogram {
 	return []*Histogram{
-		m.SetupLatency, m.DiscoveryLatency, m.ProbeHops, m.ProbeBudget,
+		m.SetupLatency, m.DiscoveryLatency, m.PhaseProbe, m.PhaseCollect,
+		m.PhaseCommit, m.ProbeHops, m.ProbeBudget,
 		m.DHTLookup, m.Switchover, m.WireBytes, m.PeerLoad,
 	}
+}
+
+// PhaseHistograms lists the per-phase setup-latency histograms in phase
+// order: discovery, probe fan-out, collection tail, reverse-path commit.
+// Their per-request sum is the setup latency of SetupLatency.
+func (m *Metrics) PhaseHistograms() []*Histogram {
+	return []*Histogram{m.DiscoveryLatency, m.PhaseProbe, m.PhaseCollect, m.PhaseCommit}
+}
+
+// PhaseTable renders the per-phase latency breakdown of successful session
+// setups: one row per phase with count, mean, and tail quantiles.
+func (m *Metrics) PhaseTable(title string) *metrics.Table {
+	t := metrics.NewTable(title, "phase", "count", "mean", "p50", "p90", "p99", "max")
+	names := []string{"discovery", "probe", "collect", "commit"}
+	for i, h := range m.PhaseHistograms() {
+		t.AddRow(names[i], h.Count(), h.Mean(),
+			h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max())
+	}
+	return t
 }
 
 // Gauges lists every gauge in fixed declaration order.

@@ -10,6 +10,7 @@
 // The event taxonomy covers the whole stack:
 //
 //	compose.start / compose.done        BCP composition lifecycle (source)
+//	disc.done                           discovery phase boundary (source)
 //	probe.sent / probe.forwarded        probe lifecycle (§4.2)
 //	probe.dropped / probe.returned
 //	probe.collected / select.done       destination-side collection (§4.3)
@@ -38,6 +39,7 @@ import (
 const (
 	KindComposeStart   = "compose.start"
 	KindComposeDone    = "compose.done"
+	KindDiscDone       = "disc.done"
 	KindProbeSent      = "probe.sent"
 	KindProbeForwarded = "probe.forwarded"
 	KindProbeDropped   = "probe.dropped"
@@ -162,6 +164,20 @@ func ComposeDone(ts time.Duration, node p2p.NodeID, req uint64, ok bool, setup t
 		Dur: setup, Note: note}
 }
 
+// DiscDone records the decentralized-discovery phase of a request resolving
+// at the source: every function's duplicate list is in hand (ok) or a lookup
+// timed out for good (fail). It is the explicit discovery→probing span
+// boundary — without it a cache-served discovery leaves no trace record at
+// all and the phase boundary must be guessed from the first probe emission.
+func DiscDone(ts time.Duration, node p2p.NodeID, req uint64, ok bool, took time.Duration) Event {
+	note := "ok"
+	if !ok {
+		note = "fail"
+	}
+	return Event{TS: ts, Kind: KindDiscDone, Node: node, Req: req, Peer: p2p.NoNode,
+		Dur: took, Note: note}
+}
+
 // ProbeSent records a probe leaving its source toward component comp on
 // peer to. ProbeForwarded is the same shape for intermediate hops. pid is
 // the new probe's identity, ppid the probe it was split from (0 at the
@@ -189,9 +205,11 @@ func ProbeReturned(ts time.Duration, node p2p.NodeID, req uint64, dest p2p.NodeI
 		Hops: hops, Bytes: bytes}
 }
 
-// ProbeCollected records the destination receiving one probe report.
-func ProbeCollected(ts time.Duration, node p2p.NodeID, req uint64, from p2p.NodeID, hops int) Event {
-	return Event{TS: ts, Kind: KindProbeCollected, Node: node, Req: req, Peer: from, Hops: hops}
+// ProbeCollected records the destination receiving one probe report. pid is
+// the reporting probe's identity, so span builders can link the collection
+// back through the probe's PID/PPID lineage to its origin.
+func ProbeCollected(ts time.Duration, node p2p.NodeID, req uint64, from p2p.NodeID, hops int, pid uint64) Event {
+	return Event{TS: ts, Kind: KindProbeCollected, Node: node, Req: req, Peer: from, Hops: hops, PID: pid}
 }
 
 // SelectDone records destination-side optimal composition selection.
@@ -222,24 +240,28 @@ func SessionEstablish(ts time.Duration, node p2p.NodeID, req uint64, backups int
 	return Event{TS: ts, Kind: KindSessionEstab, Node: node, Req: req, Peer: p2p.NoNode, Budget: backups}
 }
 
-// DHTHop records a routed DHT message being forwarded to next.
-func DHTHop(ts time.Duration, node, next p2p.NodeID, hops int, what string) Event {
-	return Event{TS: ts, Kind: KindDHTHop, Node: node, Peer: next, Hops: hops, Note: what}
+// DHTHop records a routed DHT message being forwarded to next. req is the
+// composition request the routed message serves, 0 for maintenance traffic
+// (puts, joins) — lookups launched by a request's discovery phase carry its
+// ID so span builders can attribute DHT time per request.
+func DHTHop(ts time.Duration, node, next p2p.NodeID, req uint64, hops int, what string) Event {
+	return Event{TS: ts, Kind: KindDHTHop, Node: node, Req: req, Peer: next, Hops: hops, Note: what}
 }
 
-// DHTDeliver records a routed DHT message reaching its root.
-func DHTDeliver(ts time.Duration, node p2p.NodeID, hops int, what string) Event {
-	return Event{TS: ts, Kind: KindDHTDeliver, Node: node, Peer: p2p.NoNode, Hops: hops, Note: what}
+// DHTDeliver records a routed DHT message reaching its root. req as in
+// DHTHop.
+func DHTDeliver(ts time.Duration, node p2p.NodeID, req uint64, hops int, what string) Event {
+	return Event{TS: ts, Kind: KindDHTDeliver, Node: node, Req: req, Peer: p2p.NoNode, Hops: hops, Note: what}
 }
 
 // DHTGetTimeout records a lookup timing out; retry says whether it is being
-// retried or has failed for good.
-func DHTGetTimeout(ts time.Duration, node p2p.NodeID, retry bool) Event {
+// retried or has failed for good. req as in DHTHop.
+func DHTGetTimeout(ts time.Duration, node p2p.NodeID, req uint64, retry bool) Event {
 	kind := KindDHTGetFail
 	if retry {
 		kind = KindDHTGetRetry
 	}
-	return Event{TS: ts, Kind: kind, Node: node, Peer: p2p.NoNode}
+	return Event{TS: ts, Kind: kind, Node: node, Req: req, Peer: p2p.NoNode}
 }
 
 // RecProbe records a low-rate maintenance probe launched for a session.

@@ -16,12 +16,13 @@ func sampleEvents() []Event {
 		ProbeSent(2*time.Millisecond, 7, 42, 9, "fn2", "p9/fn2.1", 5, 1, 102, 101),
 		ProbeDropped(3*time.Millisecond, 9, 42, "fn2", "p9/fn2.1", "qos", 2, 102),
 		ProbeReturned(4*time.Millisecond, 9, 42, 1, 2, 256, 103),
-		ProbeCollected(5*time.Millisecond, 1, 42, 9, 2),
+		ProbeCollected(5*time.Millisecond, 1, 42, 9, 2, 103),
 		SelectDone(6*time.Millisecond, 1, 42, 4, 2),
 		SessionAdmit(7*time.Millisecond, 9, 42, "p9/fn2.1"),
 		ComposeDone(8*time.Millisecond, 3, 42, true, 8*time.Millisecond),
-		DHTHop(9*time.Millisecond, 2, 5, 1, "get"),
-		DHTDeliver(10*time.Millisecond, 5, 2, "get"),
+		DHTHop(9*time.Millisecond, 2, 5, 42, 1, "get"),
+		DHTDeliver(10*time.Millisecond, 5, 42, 2, "get"),
+		FedPrepare(10500*time.Microsecond, 5, 42, uint64(1)<<62|42<<4, 1),
 		NetDrop(11*time.Millisecond, 3, 8, "bcp.probe", 128, 102),
 		RecOutcome(12*time.Millisecond, 3, 42, KindRecSwitchover, 300*time.Millisecond),
 		{TS: 13 * time.Millisecond, Kind: "weird", Node: 0, Peer: p2p.NoNode,

@@ -102,6 +102,10 @@ func appendEvent(b []byte, ev Event) []byte {
 		b = append(b, `,"dur":`...)
 		b = strconv.AppendInt(b, int64(ev.Dur), 10)
 	}
+	if ev.Dom != 0 {
+		b = append(b, `,"dom":`...)
+		b = strconv.AppendInt(b, int64(ev.Dom), 10)
+	}
 	if ev.Note != "" {
 		b = append(b, `,"note":`...)
 		b = appendString(b, ev.Note)
@@ -161,12 +165,14 @@ func (m MultiTracer) Emit(ev Event) {
 	}
 }
 
-// ReadTrace parses a JSONL trace back into events (the replay path of the
-// trace-summary reporter).
-func ReadTrace(r io.Reader) ([]Event, error) {
+// ScanTrace decodes a JSONL trace one event at a time, calling fn for each —
+// the streaming path every trace consumer should prefer: memory stays
+// O(longest line) regardless of trace size, so multi-gigabyte sweep traces
+// scan without buffering. fn returning an error stops the scan and returns
+// that error.
+func ScanTrace(r io.Reader, fn func(Event) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	var out []Event
 	line := 0
 	for sc.Scan() {
 		line++
@@ -176,11 +182,24 @@ func ReadTrace(r io.Reader) ([]Event, error) {
 		}
 		var ev Event
 		if err := ev.UnmarshalJSON(raw); err != nil {
-			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			return fmt.Errorf("obs: trace line %d: %w", line, err)
 		}
-		out = append(out, ev)
+		if err := fn(ev); err != nil {
+			return err
+		}
 	}
-	if err := sc.Err(); err != nil {
+	return sc.Err()
+}
+
+// ReadTrace parses a JSONL trace back into a buffered event slice. Prefer
+// ScanTrace for anything that might see a large trace.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	var out []Event
+	err := ScanTrace(r, func(ev Event) error {
+		out = append(out, ev)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -19,6 +19,7 @@ type ReqSummary struct {
 
 	ProbesSent     int // probe.sent + probe.forwarded
 	ProbesDropped  int
+	ProbesRetx     int // probe.retransmit (same PID back on the wire)
 	ProbesReturned int
 	Collected      int
 	Candidates     int // from select.done
@@ -26,6 +27,12 @@ type ReqSummary struct {
 	Admits         int
 	Rejects        int
 	Bytes          int64 // probe bytes reported to the destination
+
+	// Federation 2PC activity keyed to this request (fed.* events carry the
+	// federated request ID in Req).
+	FedPrepares int
+	FedCommits  int
+	FedAborts   int
 }
 
 // Summary aggregates a whole trace: per-kind counts plus per-request
@@ -35,65 +42,111 @@ type Summary struct {
 	Kinds  map[string]int
 	Reqs   []ReqSummary // sorted by request ID
 
+	// NetDowns / NetUps count node crash and recovery records; they carry no
+	// request ID, so they aggregate globally rather than per request.
+	NetDowns int
+	NetUps   int
+
 	// Span is the virtual time covered by the trace.
 	Span time.Duration
 }
 
-// Summarize folds a trace into per-request latency/overhead breakdowns.
-// Events with Req == 0 (DHT maintenance, network drops) only contribute to
-// the kind counts.
-func Summarize(events []Event) *Summary {
-	s := &Summary{Kinds: make(map[string]int)}
-	byReq := make(map[uint64]*ReqSummary)
-	get := func(id uint64) *ReqSummary {
-		rs, ok := byReq[id]
-		if !ok {
-			rs = &ReqSummary{Req: id}
-			byReq[id] = rs
-		}
-		return rs
+// Summarizer folds a trace into a Summary one event at a time — the
+// streaming counterpart of Summarize, for traces too large to buffer.
+type Summarizer struct {
+	s     Summary
+	byReq map[uint64]*ReqSummary
+}
+
+// NewSummarizer creates an empty streaming summarizer.
+func NewSummarizer() *Summarizer {
+	return &Summarizer{
+		s:     Summary{Kinds: make(map[string]int)},
+		byReq: make(map[uint64]*ReqSummary),
 	}
-	for _, ev := range events {
-		s.Events++
-		s.Kinds[ev.Kind]++
-		if ev.TS > s.Span {
-			s.Span = ev.TS
-		}
-		if ev.Req == 0 {
-			continue
-		}
-		rs := get(ev.Req)
-		switch ev.Kind {
-		case KindComposeStart:
-			rs.Start = ev.TS
-		case KindComposeDone:
-			rs.Done = true
-			rs.Ok = ev.Note == "ok"
-			rs.Latency = ev.TS - rs.Start
-		case KindProbeSent, KindProbeForwarded:
-			rs.ProbesSent++
-		case KindProbeDropped:
-			rs.ProbesDropped++
-		case KindProbeReturned:
-			rs.ProbesReturned++
-			rs.Bytes += int64(ev.Bytes)
-		case KindProbeCollected:
-			rs.Collected++
-		case KindSelectDone:
-			rs.Candidates = ev.Hops
-			rs.Qualified = ev.Budget
-		case KindSessionAdmit:
-			rs.Admits++
-		case KindSessionReject:
-			rs.Rejects++
-		}
+}
+
+func (z *Summarizer) get(id uint64) *ReqSummary {
+	rs, ok := z.byReq[id]
+	if !ok {
+		rs = &ReqSummary{Req: id}
+		z.byReq[id] = rs
 	}
-	s.Reqs = make([]ReqSummary, 0, len(byReq))
-	for _, rs := range byReq {
+	return rs
+}
+
+// Add folds one event into the summary.
+func (z *Summarizer) Add(ev Event) {
+	z.s.Events++
+	z.s.Kinds[ev.Kind]++
+	if ev.TS > z.s.Span {
+		z.s.Span = ev.TS
+	}
+	switch ev.Kind {
+	case KindNetDown:
+		z.s.NetDowns++
+	case KindNetUp:
+		z.s.NetUps++
+	}
+	if ev.Req == 0 {
+		return
+	}
+	rs := z.get(ev.Req)
+	switch ev.Kind {
+	case KindComposeStart:
+		rs.Start = ev.TS
+	case KindComposeDone:
+		rs.Done = true
+		rs.Ok = ev.Note == "ok"
+		rs.Latency = ev.TS - rs.Start
+	case KindProbeSent, KindProbeForwarded:
+		rs.ProbesSent++
+	case KindProbeDropped:
+		rs.ProbesDropped++
+	case KindProbeRetx:
+		rs.ProbesRetx++
+	case KindProbeReturned:
+		rs.ProbesReturned++
+		rs.Bytes += int64(ev.Bytes)
+	case KindProbeCollected:
+		rs.Collected++
+	case KindSelectDone:
+		rs.Candidates = ev.Hops
+		rs.Qualified = ev.Budget
+	case KindSessionAdmit:
+		rs.Admits++
+	case KindSessionReject:
+		rs.Rejects++
+	case KindFedPrepare:
+		rs.FedPrepares++
+	case KindFedCommit:
+		rs.FedCommits++
+	case KindFedAbort:
+		rs.FedAborts++
+	}
+}
+
+// Summary finalizes and returns the aggregate view. The summarizer may keep
+// accepting events afterwards; each call re-finalizes.
+func (z *Summarizer) Summary() *Summary {
+	s := z.s
+	s.Reqs = make([]ReqSummary, 0, len(z.byReq))
+	for _, rs := range z.byReq {
 		s.Reqs = append(s.Reqs, *rs)
 	}
 	sort.Slice(s.Reqs, func(i, j int) bool { return s.Reqs[i].Req < s.Reqs[j].Req })
-	return s
+	return &s
+}
+
+// Summarize folds a buffered trace into per-request latency/overhead
+// breakdowns. Events with Req == 0 (DHT maintenance, network drops, node
+// crash/recovery) only contribute to the kind counts and global tallies.
+func Summarize(events []Event) *Summary {
+	z := NewSummarizer()
+	for _, ev := range events {
+		z.Add(ev)
+	}
+	return z.Summary()
 }
 
 // Succeeded counts requests whose composition completed ok.
@@ -115,7 +168,8 @@ func (s *Summary) Table(title string) *metrics.Table {
 	t.AddRow("trace span", s.Span)
 	var done, ok int
 	var lat metrics.Sample
-	var probes, dropped, returned int
+	var probes, dropped, retx, returned int
+	var prepares, commits, aborts int
 	for _, r := range s.Reqs {
 		if r.Done {
 			done++
@@ -126,7 +180,11 @@ func (s *Summary) Table(title string) *metrics.Table {
 		}
 		probes += r.ProbesSent
 		dropped += r.ProbesDropped
+		retx += r.ProbesRetx
 		returned += r.ProbesReturned
+		prepares += r.FedPrepares
+		commits += r.FedCommits
+		aborts += r.FedAborts
 	}
 	t.AddRow("requests traced", len(s.Reqs))
 	t.AddRow("compositions completed", done)
@@ -138,6 +196,18 @@ func (s *Summary) Table(title string) *metrics.Table {
 	t.AddRow("probes sent", probes)
 	t.AddRow("probes dropped", dropped)
 	t.AddRow("probes returned", returned)
+	if retx > 0 {
+		t.AddRow("probe retransmits", retx)
+	}
+	if prepares > 0 || commits > 0 || aborts > 0 {
+		t.AddRow("fed prepares", prepares)
+		t.AddRow("fed commits", commits)
+		t.AddRow("fed aborts", aborts)
+	}
+	if s.NetDowns > 0 || s.NetUps > 0 {
+		t.AddRow("nodes crashed", s.NetDowns)
+		t.AddRow("nodes recovered", s.NetUps)
+	}
 	if n := len(s.Reqs); n > 0 {
 		t.AddRow("probes/request", float64(probes)/float64(n))
 	}
@@ -155,7 +225,18 @@ func (s *Summary) Table(title string) *metrics.Table {
 // RequestTable renders the per-request breakdown, one row per traced
 // request.
 func (s *Summary) RequestTable(title string) *metrics.Table {
-	t := metrics.NewTable(title, "req", "ok", "latency", "probes", "dropped", "returned", "candidates", "qualified", "admits")
+	fed := false
+	for _, r := range s.Reqs {
+		if r.FedPrepares > 0 || r.FedCommits > 0 || r.FedAborts > 0 {
+			fed = true
+			break
+		}
+	}
+	cols := []string{"req", "ok", "latency", "probes", "dropped", "retx", "returned", "candidates", "qualified", "admits"}
+	if fed {
+		cols = append(cols, "prep", "commit", "abort")
+	}
+	t := metrics.NewTable(title, cols...)
 	for _, r := range s.Reqs {
 		status := "pending"
 		if r.Done {
@@ -165,8 +246,12 @@ func (s *Summary) RequestTable(title string) *metrics.Table {
 				status = "fail"
 			}
 		}
-		t.AddRow(r.Req, status, r.Latency, r.ProbesSent, r.ProbesDropped,
-			r.ProbesReturned, r.Candidates, r.Qualified, r.Admits)
+		row := []any{r.Req, status, r.Latency, r.ProbesSent, r.ProbesDropped, r.ProbesRetx,
+			r.ProbesReturned, r.Candidates, r.Qualified, r.Admits}
+		if fed {
+			row = append(row, r.FedPrepares, r.FedCommits, r.FedAborts)
+		}
+		t.AddRow(row...)
 	}
 	return t
 }

@@ -38,7 +38,14 @@ func (r *Registry) Register(c service.Component) {
 // function. cb fires exactly once with the duplicate list (possibly empty)
 // and the DHT hop count, or ok=false if the lookup timed out.
 func (r *Registry) Discover(function string, timeout time.Duration, cb func(comps []service.Component, hops int, ok bool)) {
-	r.node.Get(FunctionKey(function), timeout, func(items []any, hops int, ok bool) {
+	r.DiscoverSpan(function, 0, timeout, cb)
+}
+
+// DiscoverSpan is Discover with the composition-request ID attached: the
+// underlying DHT lookup stamps every hop event with span so trace span trees
+// can attribute discovery traffic to the request.
+func (r *Registry) DiscoverSpan(function string, span uint64, timeout time.Duration, cb func(comps []service.Component, hops int, ok bool)) {
+	r.node.GetSpan(FunctionKey(function), span, timeout, func(items []any, hops int, ok bool) {
 		if !ok {
 			cb(nil, 0, false)
 			return
@@ -64,6 +71,12 @@ type Table map[string][]service.Component
 // the "decentralized service discovery" phase of session setup whose
 // duration Figure 10 reports separately.
 func (r *Registry) DiscoverAll(functions []string, timeout time.Duration, cb func(t Table, ok bool)) {
+	r.DiscoverAllSpan(functions, 0, timeout, cb)
+}
+
+// DiscoverAllSpan is DiscoverAll with the composition-request ID threaded
+// through every constituent lookup's trace events.
+func (r *Registry) DiscoverAllSpan(functions []string, span uint64, timeout time.Duration, cb func(t Table, ok bool)) {
 	// Deduplicate function names first.
 	uniq := make([]string, 0, len(functions))
 	seen := make(map[string]bool, len(functions))
@@ -82,7 +95,7 @@ func (r *Registry) DiscoverAll(functions []string, timeout time.Duration, cb fun
 	}
 	for _, f := range uniq {
 		f := f
-		r.Discover(f, timeout, func(comps []service.Component, _ int, ok bool) {
+		r.DiscoverSpan(f, span, timeout, func(comps []service.Component, _ int, ok bool) {
 			if !ok {
 				failed = true
 			} else {

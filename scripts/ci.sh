@@ -49,6 +49,24 @@ gunzip -c "$tmp/c.jsonl.gz" | cmp - "$tmp/a.jsonl"
 "$tmp/spidersim" -seed 7 -ipnodes 600 -peers 80 -requests 30 -duration 3m \
     -check > /dev/null
 
+# Span gate: the causal span analyzer must be deterministic — the same trace
+# must render byte-identical reports across runs, and the committed golden
+# trace must render exactly the committed golden report. A diff here means
+# either the span builder changed (regenerate testdata/golden_spans.txt with
+# the command below) or nondeterminism crept into tree construction.
+echo "== span determinism gate"
+go build -o "$tmp/spidertrace" ./cmd/spidertrace
+for cmd in summary phases critical; do
+    "$tmp/spidertrace" "$cmd" "$tmp/a.jsonl" > "$tmp/span1.$cmd.txt"
+    "$tmp/spidertrace" "$cmd" "$tmp/a.jsonl" > "$tmp/span2.$cmd.txt"
+    cmp "$tmp/span1.$cmd.txt" "$tmp/span2.$cmd.txt"
+done
+{
+    "$tmp/spidertrace" phases testdata/golden_trace.jsonl.gz
+    "$tmp/spidertrace" critical testdata/golden_trace.jsonl.gz
+} > "$tmp/golden_spans.txt"
+cmp "$tmp/golden_spans.txt" testdata/golden_spans.txt
+
 # Chaos gate: 20% loss (plus duplication and jitter) on every link. The
 # 100-request workload must finish with zero hung compositions, the trace
 # must satisfy the probe-conservation invariants with faults accounted, and
