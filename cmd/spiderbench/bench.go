@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/p2p"
 	"repro/internal/qos"
+	"repro/internal/registry"
 	"repro/internal/service"
 	"repro/internal/simnet"
 	"repro/internal/topology"
@@ -23,11 +24,11 @@ import (
 
 // BenchResult is one machine-readable microbenchmark record.
 type BenchResult struct {
-	Op         string  `json:"op"`
-	Iterations int     `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
-	BytesPerOp  int64  `json:"bytes_per_op"`
+	Op          string  `json:"op"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
 // BenchFile is the BENCH_<timestamp>.json schema.
@@ -57,6 +58,8 @@ func runBench(dir string) error {
 		{"service/cost", benchCost},
 		{"sim/dispatch", benchSimDispatch},
 		{"topology/generate", benchTopologyGenerate},
+		{"topology/generate100k", benchTopologyGenerate100k},
+		{"registry/shardlookup", benchShardLookup},
 		{"obs/jsonl-emit", benchObsEmit},
 		{"obs/emit-disabled", benchObsDisabled},
 	}
@@ -194,6 +197,56 @@ func benchTopologyGenerate(b *testing.B) {
 		rng := rand.New(rand.NewSource(78))
 		g := topology.GeneratePowerLaw(2500, 2, 2, 30, rng)
 		topology.BuildOverlay(g, topology.OverlayConfig{NumPeers: 250, Degree: 4}, rng)
+	}
+}
+
+// benchTopologyGenerate100k is the headline capacity number: a 100,000-node
+// power-law IP network frozen into the CSR representation plus a 10,000-peer
+// compact-mode overlay (no peer-pair latency matrix) per iteration.
+func benchTopologyGenerate100k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(79))
+		g := topology.GeneratePowerLaw(100000, 2, 2, 30, rng)
+		topology.BuildOverlay(g, topology.OverlayConfig{
+			NumPeers: 10000, Degree: 4, Compact: true,
+		}, rng)
+	}
+}
+
+// benchShardLookup measures a cross-ring discovery round trip: a GetVia from
+// a peer whose shard does not home the key, entering the home ring through a
+// plan entry member — the per-lookup tax the sharded keyspace pays in
+// exchange for the ~S-times-cheaper ring construction.
+func benchShardLookup(b *testing.B) {
+	sim := simnet.NewSim()
+	nw := simnet.NewNetwork(sim, simnet.ConstantLatency(time.Millisecond),
+		rand.New(rand.NewSource(80)))
+	const peers = 512
+	plan := registry.NewShardPlan(peers, 8)
+	nodes := make([]*dht.Node, peers)
+	for i := range nodes {
+		nodes[i] = dht.New(nw.AddNode(p2p.NodeID(i)), nw.Alive)
+	}
+	for s := 0; s < plan.NumShards; s++ {
+		ring := make([]*dht.Node, len(plan.Members[s]))
+		for j, id := range plan.Members[s] {
+			ring[j] = nodes[int(id)]
+		}
+		dht.Build(ring)
+	}
+	key := registry.FunctionKey("bench")
+	home := plan.Home(key)
+	entries := plan.Entries(key)
+	nodes[plan.Members[home][0]].Put(key, "x", 64)
+	sim.RunUntilIdle()
+	// A fixed foreign source: first member of the shard after the home one.
+	src := nodes[plan.Members[(home+1)%plan.NumShards][0]]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.GetVia(entries, key, 0, time.Second, func([]any, int, bool) {})
+		sim.RunUntilIdle()
 	}
 }
 

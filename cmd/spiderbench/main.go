@@ -11,6 +11,7 @@
 //	spiderbench -fig scale        # offered-load sweep, load-blind vs load-aware
 //	spiderbench -fig overhead     # BCP vs centralized overhead
 //	spiderbench -fig federate     # cross-domain 2PC sweep, domains x gateways x faults
+//	spiderbench -fig scale100k    # 100k-node/10k-peer capacity sweep (not part of "all")
 //	spiderbench -fig all
 //	spiderbench -bench            # microbenchmarks -> BENCH_<timestamp>.json
 package main
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 10, 11, scale, overhead, federate, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 10, 11, scale, overhead, federate, scale100k, all")
 	paper := flag.Bool("paper", false, "use the paper's full dimensions (slow)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
@@ -259,8 +260,25 @@ func main() {
 			writeCSV("federate", res.Table)
 		})
 	}
+	// The 100k capacity sweep is explicit-only: it measures machine-dependent
+	// wall-clock and heap cost, so folding it into "all" would make the
+	// default run's duration depend on the host rather than the paper.
+	if *fig == "scale100k" {
+		ran = true
+		run("Scale100k (capacity sweep)", func() {
+			cfg := experiment.DefaultScale100kConfig()
+			cfg.Seed = *seed
+			cfg.Trace = trace
+			cfg.Parallel = *parallel
+			res := experiment.Scale100k(cfg)
+			res.TopoTable.Render(os.Stdout)
+			res.DiscTable.Render(os.Stdout)
+			writeCSV("scale100k_topo", res.TopoTable)
+			writeCSV("scale100k_disc", res.DiscTable)
+		})
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q; want 8, 9, 10, 11, scale, overhead, federate, or all\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q; want 8, 9, 10, 11, scale, overhead, federate, scale100k, or all\n", *fig)
 		os.Exit(2)
 	}
 	if tf != nil {

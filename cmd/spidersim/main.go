@@ -59,6 +59,7 @@ func run() error {
 		commute   = flag.Float64("commute", 0.2, "probability of commutation links")
 		faults    = flag.String("faults", "", "fault spec, e.g. loss=0.05,dup=0.01,jitter=20ms,partition=10s@30s,seed=3")
 		domains   = flag.String("domains", "", "federate the overlay into administrative domains and commit cross-domain sessions with 2PC, e.g. domains=4,gateways=2,hold=10s,life=30s")
+		shards    = flag.Int("shards", 0, "split the DHT keyspace across this many independent rings (0/1 = one flat ring); mutually exclusive with -domains")
 		loadBase  = flag.Duration("load", 0, "enable the overload control plane: per-peer processing delay base (M/M/1 inflation with utilization); 0 = off")
 		shed      = flag.Float64("shed", 0.8, "with -load: utilization threshold at which peers shed probes (0 disables shedding)")
 		specFile  = flag.String("spec", "", "compose a single request from a QoSTalk-style XML spec file")
@@ -98,6 +99,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
+	}
+	if *shards > 1 && dspec != nil {
+		return fmt.Errorf("-shards and -domains are mutually exclusive: federation already shards the keyspace per domain")
 	}
 
 	var (
@@ -164,6 +168,7 @@ func run() error {
 		Load:     loadOpts,
 		Recovery: recPtr,
 		Domains:  dspec,
+		Shards:   *shards,
 		Trace:    trace,
 		Obs:      reg,
 		Metrics:  met,

@@ -1,0 +1,190 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/bcp"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// TestShardedLookupIdenticalProviders is the sharding correctness contract:
+// keys are homed by hash, so the provider list a discovery returns must be
+// identical — same components, same order after sorting by ID — at every
+// shard count. Shard counts {1, 4, 16} over the same seed must agree
+// function-for-function.
+func TestShardedLookupIdenticalProviders(t *testing.T) {
+	cat := catalog(10)
+	providers := func(shards int) map[string][]string {
+		c := cluster.New(cluster.Options{
+			Seed: 17, IPNodes: 300, Peers: 48, Catalog: cat, Shards: shards,
+		})
+		out := make(map[string][]string)
+		for _, src := range []int{0, 23, 47} {
+			for _, fn := range cat {
+				fn := fn
+				var ids []string
+				ok := false
+				c.Peers[src].Registry.Discover(fn, 2*time.Second, func(comps []service.Component, _ int, got bool) {
+					ok = got
+					for _, comp := range comps {
+						ids = append(ids, comp.ID)
+					}
+				})
+				c.Sim.RunUntilIdle()
+				if !ok {
+					t.Fatalf("shards=%d: discovery of %s from peer %d failed", shards, fn, src)
+				}
+				sort.Strings(ids)
+				if prev, seen := out[fn]; seen {
+					if len(prev) != len(ids) {
+						t.Fatalf("shards=%d: %s provider count differs across sources: %v vs %v", shards, fn, prev, ids)
+					}
+					for i := range prev {
+						if prev[i] != ids[i] {
+							t.Fatalf("shards=%d: %s providers differ across sources", shards, fn)
+						}
+					}
+				}
+				out[fn] = ids
+			}
+		}
+		return out
+	}
+
+	base := providers(1)
+	for _, s := range []int{4, 16} {
+		got := providers(s)
+		for fn, want := range base {
+			have := got[fn]
+			if len(have) != len(want) {
+				t.Fatalf("shards=%d: %s has %d providers, shards=1 has %d", s, fn, len(have), len(want))
+			}
+			for i := range want {
+				if have[i] != want[i] {
+					t.Fatalf("shards=%d: %s provider %d is %s, shards=1 says %s", s, fn, i, have[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardOneByteIdenticalToUnsharded: Shards=1 builds one ring and homes
+// every key on it, so the message schedule — and therefore the trace — must
+// be byte-identical to a cluster built before sharding existed.
+func TestShardOneByteIdenticalToUnsharded(t *testing.T) {
+	render := func(shards int) []byte {
+		mem := &obs.MemSink{}
+		c := cluster.New(cluster.Options{
+			Seed: 29, IPNodes: 150, Peers: 24, Catalog: catalog(6), Trace: mem, Shards: shards,
+		})
+		gen := workload.NewGenerator(workload.Config{
+			Catalog: catalog(6), Peers: 24, MinFuncs: 2, MaxFuncs: 3,
+			Budget: 12, DelayReqMin: 500, DelayReqMax: 2000,
+		}, c.Rng)
+		for i := 0; i < 6; i++ {
+			req := gen.Next()
+			c.Sim.Schedule(time.Duration(i)*time.Second, func() {
+				c.Peers[int(req.Source)].Engine.Compose(req, func(bcp.Result) {})
+			})
+		}
+		c.Sim.RunUntilIdle()
+		b, err := json.Marshal(mem.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if string(render(0)) != string(render(1)) {
+		t.Fatal("Shards=1 trace differs from the unsharded cluster")
+	}
+}
+
+// TestShardedChaosInvariants is the in-package version of the CI sharding
+// chaos gate: 20% loss plus duplication and jitter over a 16-shard
+// deployment, a compose workload on top, and the full trace invariant suite
+// (probe conservation, lookup lifecycle, counter cross-checks) must hold.
+func TestShardedChaosInvariants(t *testing.T) {
+	cat := catalog(8)
+	mem := &obs.MemSink{}
+	reg := obs.NewRegistry()
+	// Fault-hardened BCP config, as spidersim arms it whenever faults are on:
+	// without per-hop probe acks the dup/loss mix legitimately double-
+	// terminates probes, sharded or not.
+	bcfg := bcp.DefaultConfig()
+	bcfg.ProbeAckTimeout = 300 * time.Millisecond
+	bcfg.ProbeRetries = 2
+	c := cluster.New(cluster.Options{
+		Seed: 13, IPNodes: 250, Peers: 64, Catalog: cat, Shards: 16,
+		BCP: bcfg, Trace: mem, Obs: reg,
+	})
+	c.ApplyFaults(simnet.FaultPlan{Seed: 3, Default: simnet.LinkFaults{Loss: 0.2, Dup: 0.05, Jitter: 10 * time.Millisecond}})
+
+	gen := workload.NewGenerator(workload.Config{
+		Catalog: cat, Peers: 64, MinFuncs: 2, MaxFuncs: 3,
+		Budget: 12, DelayReqMin: 500, DelayReqMax: 2000,
+	}, c.Rng)
+	done, okCount := 0, 0
+	for i := 0; i < 30; i++ {
+		req := gen.Next()
+		c.Sim.Schedule(time.Duration(i)*500*time.Millisecond, func() {
+			c.Peers[int(req.Source)].Engine.Compose(req, func(res bcp.Result) {
+				done++
+				if res.Ok {
+					okCount++
+				}
+			})
+		})
+	}
+	c.Sim.RunUntilIdle()
+	if done != 30 {
+		t.Fatalf("hung compositions under sharded chaos: %d of 30 resolved", done)
+	}
+	if okCount == 0 {
+		t.Fatal("no composition succeeded — workload exercised nothing")
+	}
+	for _, v := range obs.Check(mem.Events()) {
+		t.Errorf("invariant: %s", v)
+	}
+	for _, v := range obs.CheckTotals(mem.Events(), reg.Totals()) {
+		t.Errorf("totals: %s", v)
+	}
+	t.Logf("sharded chaos: %d/30 compositions succeeded under 20%% loss", okCount)
+}
+
+// TestShardedTraceDeterministic: the sharded path must keep the repo's
+// same-seed byte-identical trace contract, faults included.
+func TestShardedTraceDeterministic(t *testing.T) {
+	render := func() []byte {
+		mem := &obs.MemSink{}
+		c := cluster.New(cluster.Options{
+			Seed: 11, IPNodes: 150, Peers: 32, Catalog: catalog(6), Shards: 4, Trace: mem,
+		})
+		c.ApplyFaults(simnet.FaultPlan{Seed: 5, Default: simnet.LinkFaults{Loss: 0.1, Jitter: 5 * time.Millisecond}})
+		gen := workload.NewGenerator(workload.Config{
+			Catalog: catalog(6), Peers: 32, MinFuncs: 2, MaxFuncs: 3,
+			Budget: 12, DelayReqMin: 500, DelayReqMax: 2000,
+		}, c.Rng)
+		for i := 0; i < 8; i++ {
+			req := gen.Next()
+			c.Sim.Schedule(time.Duration(i)*time.Second, func() {
+				c.Peers[int(req.Source)].Engine.Compose(req, func(bcp.Result) {})
+			})
+		}
+		c.Sim.RunUntilIdle()
+		b, err := json.Marshal(mem.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if string(render()) != string(render()) {
+		t.Fatal("sharded cluster trace not deterministic")
+	}
+}

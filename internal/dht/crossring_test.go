@@ -1,0 +1,115 @@
+package dht
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/p2p"
+	"repro/internal/simnet"
+)
+
+// twoRings builds two independent DHT rings sharing one transport network:
+// nodes 0..na-1 form ring A, nodes na..na+nb-1 form ring B. Neither ring's
+// tables reference the other, which is exactly the sharded-keyspace shape.
+func twoRings(t *testing.T, na, nb int) (*simnet.Network, []*Node, []*Node) {
+	t.Helper()
+	sim := simnet.NewSim()
+	nw := simnet.NewNetwork(sim, simnet.ConstantLatency(5*time.Millisecond), rand.New(rand.NewSource(1)))
+	mk := func(lo, n int) []*Node {
+		nodes := make([]*Node, n)
+		for i := 0; i < n; i++ {
+			host := nw.AddNode(p2p.NodeID(lo + i))
+			nodes[i] = New(host, nw.Alive)
+		}
+		Build(nodes)
+		return nodes
+	}
+	a := mk(0, na)
+	b := mk(na, nb)
+	return nw, a, b
+}
+
+// TestPutViaGetViaCrossRing stores from a ring-A node into ring B through an
+// entry member and reads it back the same way: the item must land on ring B's
+// root for the key and the response must return directly to the requester.
+func TestPutViaGetViaCrossRing(t *testing.T) {
+	nw, a, b := twoRings(t, 30, 40)
+	key := Key("fn:transcode")
+	entry := b[7].Addr()
+
+	a[3].PutVia(entry, key, "meta", 96)
+	nw.Sim().RunUntilIdle()
+
+	// The item lives somewhere in ring B, nowhere in ring A.
+	inA, inB := 0, 0
+	for _, n := range a {
+		inA += n.StoredUnder(key)
+	}
+	for _, n := range b {
+		inB += n.StoredUnder(key)
+	}
+	if inA != 0 {
+		t.Fatalf("cross-ring put leaked %d copies into the origin ring", inA)
+	}
+	if inB == 0 {
+		t.Fatal("cross-ring put never reached the home ring")
+	}
+
+	var got []any
+	ok := false
+	a[11].GetVia([]p2p.NodeID{entry}, key, 0, time.Second, func(items []any, _ int, o bool) {
+		got, ok = items, o
+	})
+	nw.Sim().RunUntilIdle()
+	if !ok || len(got) != 1 || got[0] != "meta" {
+		t.Fatalf("cross-ring get: ok=%v items=%v", ok, got)
+	}
+}
+
+// TestGetViaRetriesAlternateEntry kills the primary entry member after the
+// put: the first attempt is swallowed, and the timeout retry must enter the
+// home ring through the alternate entry instead of rerouting locally (which
+// would deliver at a wrong-ring root and fabricate an empty result).
+func TestGetViaRetriesAlternateEntry(t *testing.T) {
+	nw, a, b := twoRings(t, 20, 30)
+	key := Key("fn:filter")
+	primary, alt := b[2].Addr(), b[17].Addr()
+
+	a[0].PutVia(alt, key, "meta", 96)
+	nw.Sim().RunUntilIdle()
+
+	nw.Fail(primary)
+	var got []any
+	done, ok := false, false
+	a[5].GetVia([]p2p.NodeID{primary, alt}, key, 0, 200*time.Millisecond, func(items []any, _ int, o bool) {
+		got, ok, done = items, o, true
+	})
+	nw.Sim().RunUntilIdle()
+	if !done {
+		t.Fatal("callback never fired")
+	}
+	if !ok || len(got) != 1 {
+		t.Fatalf("retry through alternate entry failed: ok=%v items=%v", ok, got)
+	}
+}
+
+// TestGetViaSelfEntryDegradesToLocalRouting: when the entry is the caller
+// itself (the key is homed on the caller's own ring), GetVia must behave
+// exactly like an in-ring lookup.
+func TestGetViaSelfEntryDegradesToLocalRouting(t *testing.T) {
+	nw, a, _ := twoRings(t, 25, 5)
+	key := Key("fn:encode")
+	a[8].Put(key, "meta", 96)
+	nw.Sim().RunUntilIdle()
+
+	ok := false
+	var got []any
+	a[8].GetVia([]p2p.NodeID{a[8].Addr()}, key, 0, time.Second, func(items []any, _ int, o bool) {
+		got, ok = items, o
+	})
+	nw.Sim().RunUntilIdle()
+	if !ok || len(got) != 1 {
+		t.Fatalf("self-entry GetVia: ok=%v items=%v", ok, got)
+	}
+}

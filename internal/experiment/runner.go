@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -23,12 +25,18 @@ func Parallelism(n int) int {
 // identically seeded cluster, Sim, and RNG streams, so cells never share
 // mutable state and any execution order yields the same per-cell results.
 //
-// Determinism of the trace is preserved by buffering: when a shared tracer is
-// configured, each cell emits into a private in-memory sink, and after all
-// cells finish the buffers are replayed into the shared tracer in cell-index
-// order. That is exactly the order a serial run emits in (cell i's events are
-// contiguous and precede cell i+1's), so N-worker output is byte-identical to
-// serial. With parallel <= 1 the cells run inline, in order, emitting
+// Determinism of the trace is preserved by spilling: when a shared tracer is
+// configured, each cell emits into a private temp-file JSONL spill, and after
+// all cells finish the spills are streamed back into the shared tracer in
+// cell-index order through obs.StreamTrace. That is exactly the order a
+// serial run emits in (cell i's events are contiguous and precede cell
+// i+1's), so N-worker output is byte-identical to serial — the JSONL encoding
+// carries only integer and string fields in fixed order, so a decode/re-emit
+// round trip reproduces the original bytes. Unlike the old whole-cell memory
+// buffers, spill memory is O(1) per in-flight cell regardless of trace size,
+// which is what lets the 100k sweep's discovery cells trace at full fidelity.
+// A cell whose spill file cannot be created falls back to an in-memory
+// buffer. With parallel <= 1 the cells run inline, in order, emitting
 // straight into the shared tracer — today's behavior.
 //
 // run receives the cell index and the tracer that cell must hand its cluster
@@ -44,12 +52,12 @@ func runCells(n, parallel int, shared obs.Tracer, run func(i int, tracer obs.Tra
 		return
 	}
 	tracers := make([]obs.Tracer, n)
-	var sinks []*obs.MemSink
+	var spills []*cellSpill
 	if shared != nil {
-		sinks = make([]*obs.MemSink, n)
-		for i := range sinks {
-			sinks[i] = &obs.MemSink{}
-			tracers[i] = sinks[i]
+		spills = make([]*cellSpill, n)
+		for i := range spills {
+			spills[i] = newCellSpill()
+			tracers[i] = spills[i].tracer()
 		}
 	}
 	var next atomic.Int64
@@ -68,9 +76,60 @@ func runCells(n, parallel int, shared obs.Tracer, run func(i int, tracer obs.Tra
 		}()
 	}
 	wg.Wait()
-	for _, s := range sinks {
-		for _, ev := range s.Events() {
+	for _, sp := range spills {
+		sp.replay(shared)
+	}
+}
+
+// cellSpill is one cell's private trace destination: a temp JSONL file, or an
+// in-memory buffer when the file could not be created.
+type cellSpill struct {
+	file *obs.TraceFile
+	path string
+	mem  *obs.MemSink
+}
+
+func newCellSpill() *cellSpill {
+	f, err := os.CreateTemp("", "spidercell-*.jsonl")
+	if err != nil {
+		return &cellSpill{mem: &obs.MemSink{}}
+	}
+	path := f.Name()
+	f.Close()
+	tf, err := obs.CreateTrace(path)
+	if err != nil {
+		os.Remove(path)
+		return &cellSpill{mem: &obs.MemSink{}}
+	}
+	return &cellSpill{file: tf, path: path}
+}
+
+func (sp *cellSpill) tracer() obs.Tracer {
+	if sp.mem != nil {
+		return sp.mem
+	}
+	return sp.file
+}
+
+// replay streams this cell's events into shared in emission order and
+// discards the spill. A spill that cannot be read back would silently break
+// the byte-identical determinism contract, so I/O failures are loud.
+func (sp *cellSpill) replay(shared obs.Tracer) {
+	if sp.mem != nil {
+		for _, ev := range sp.mem.Events() {
 			shared.Emit(ev)
 		}
+		return
+	}
+	if err := sp.file.Close(); err != nil {
+		panic(fmt.Sprintf("experiment: closing cell trace spill: %v", err))
+	}
+	err := obs.StreamTrace(sp.path, func(ev obs.Event) error {
+		shared.Emit(ev)
+		return nil
+	})
+	os.Remove(sp.path)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: replaying cell trace spill: %v", err))
 	}
 }

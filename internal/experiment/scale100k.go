@@ -1,0 +1,259 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/dht"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/p2p"
+	"repro/internal/registry"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Scale100kConfig parameterizes the single-machine capacity sweep: how far
+// the frozen-CSR topology core and the sharded discovery plane stretch before
+// memory or wall-clock becomes the binding constraint. Unlike the protocol
+// figures this sweep reports real resource cost, so its wall-clock and heap
+// columns are machine-dependent; the structural columns (links, simulated
+// route latency, hops, lookup successes) are seed-deterministic.
+type Scale100kConfig struct {
+	Seed int64
+	// Topo is the (IP nodes, overlay peers) grid. Every point builds the IP
+	// graph with the frozen CSR representation and the overlay in compact
+	// mode (no peer-pair latency matrix), then runs a route sweep.
+	Topo []Scale100kTopo
+	// RouteSources / RoutesPerSource size the route sweep. Each distinct
+	// source pays one full Dijkstra (then caches), so RouteSources bounds the
+	// route-cache footprint at large peer counts.
+	RouteSources, RoutesPerSource int
+	// DiscoveryPeers is the DHT population for the discovery cells.
+	DiscoveryPeers int
+	// Shards lists the keyspace shard counts swept by the discovery cells.
+	// Ring construction is quadratic in ring size, so S shards cut static
+	// build work by ~S; lookups for foreign keys pay the cross-ring entry
+	// hop instead.
+	Shards []int
+	// Functions / ProvidersPerFn / Lookups size the discovery workload.
+	Functions, ProvidersPerFn, Lookups int
+	// Trace, when non-nil, is wired through the parallel runner (the sweep
+	// itself emits no protocol events; the hook exists for symmetry with the
+	// other figures).
+	Trace obs.Tracer
+	// Parallel is the worker count for the cells; <= 1 runs them serially.
+	Parallel int
+}
+
+// Scale100kTopo is one (IP nodes, overlay peers) grid point.
+type Scale100kTopo struct {
+	IPNodes, Peers int
+}
+
+// DefaultScale100kConfig is the headline sweep: up to 100,000 IP nodes and
+// 10,000 overlay peers — 10x the paper's §6.1 dimensions — plus a 10,000-peer
+// discovery plane at shard counts {1, 4, 16}.
+func DefaultScale100kConfig() Scale100kConfig {
+	return Scale100kConfig{
+		Seed: 1,
+		Topo: []Scale100kTopo{
+			{IPNodes: 10000, Peers: 1000},
+			{IPNodes: 30000, Peers: 3000},
+			{IPNodes: 100000, Peers: 10000},
+		},
+		RouteSources:    64,
+		RoutesPerSource: 4,
+		DiscoveryPeers:  10000,
+		Shards:          []int{1, 4, 16},
+		Functions:       200,
+		ProvidersPerFn:  3,
+		Lookups:         200,
+	}
+}
+
+// Scale100kTopoPoint is one topology cell's result.
+type Scale100kTopoPoint struct {
+	IPNodes, Peers int
+	Links          int
+	GenMS          float64 // wall-clock: power-law generation + CSR freeze
+	OverlayMS      float64 // wall-clock: compact overlay build
+	HeapMB         float64 // live-heap delta across graph + overlay build
+	RouteAvgMS     float64 // simulated ms, deterministic
+	RouteAvgHops   float64 // deterministic
+}
+
+// Scale100kDiscPoint is one discovery cell's result.
+type Scale100kDiscPoint struct {
+	Peers, Shards int
+	BuildMS       float64 // wall-clock: S quadratic ring builds
+	RegisterMS    float64 // wall-clock: puts + simulated delivery
+	LookupMS      float64 // wall-clock: gets + simulated delivery
+	LookupOK      int     // deterministic
+	AvgHops       float64 // deterministic
+}
+
+// Scale100kResult is the full sweep.
+type Scale100kResult struct {
+	Topo      []Scale100kTopoPoint
+	Discovery []Scale100kDiscPoint
+	TopoTable *metrics.Table
+	DiscTable *metrics.Table
+}
+
+// Scale100k runs the capacity sweep: topology grid points first, then the
+// sharded-discovery grid, all as independent cells under the parallel runner.
+func Scale100k(cfg Scale100kConfig) Scale100kResult {
+	nt := len(cfg.Topo)
+	topo := make([]Scale100kTopoPoint, nt)
+	disc := make([]Scale100kDiscPoint, len(cfg.Shards))
+	runCells(nt+len(cfg.Shards), cfg.Parallel, cfg.Trace, func(i int, _ obs.Tracer) {
+		if i < nt {
+			topo[i] = scale100kTopo(cfg, cfg.Topo[i])
+		} else {
+			disc[i-nt] = scale100kDiscovery(cfg, cfg.Shards[i-nt])
+		}
+	})
+
+	out := Scale100kResult{Topo: topo, Discovery: disc}
+	tt := metrics.NewTable("Scale100k: frozen-CSR topology grid (compact overlay, no latency matrix)",
+		"ip nodes", "peers", "links", "gen ms", "overlay ms", "heap MB", "route ms", "route hops")
+	for _, p := range topo {
+		tt.AddRow(p.IPNodes, p.Peers, p.Links, p.GenMS, p.OverlayMS, p.HeapMB, p.RouteAvgMS, p.RouteAvgHops)
+	}
+	out.TopoTable = tt
+	dt := metrics.NewTable(fmt.Sprintf("Scale100k: sharded discovery, %d DHT peers", cfg.DiscoveryPeers),
+		"shards", "build ms", "register ms", "lookup ms", "lookups ok", "avg hops")
+	for _, p := range disc {
+		dt.AddRow(p.Shards, p.BuildMS, p.RegisterMS, p.LookupMS, p.LookupOK, p.AvgHops)
+	}
+	out.DiscTable = dt
+	return out
+}
+
+func liveHeapBytes() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// scale100kTopo builds one grid point and sweeps routes over it. The overlay
+// is built in compact mode: the O(peers^2) latency matrix alone would cost
+// ~800 MB at 10,000 peers, an order of magnitude over the whole-cell budget.
+func scale100kTopo(cfg Scale100kConfig, pt Scale100kTopo) Scale100kTopoPoint {
+	rng := newRng(cfg.Seed + int64(pt.IPNodes))
+	heapBefore := liveHeapBytes()
+
+	start := time.Now()
+	g := topology.GeneratePowerLaw(pt.IPNodes, 2, 2, 30, rng)
+	genMS := float64(time.Since(start).Microseconds()) / 1000
+
+	start = time.Now()
+	ov := topology.BuildOverlay(g, topology.OverlayConfig{
+		NumPeers: pt.Peers, Degree: 4, Compact: true,
+	}, rng)
+	overlayMS := float64(time.Since(start).Microseconds()) / 1000
+	heapMB := float64(liveHeapBytes()-heapBefore) / (1 << 20)
+
+	var lat, hops metrics.Sample
+	for s := 0; s < cfg.RouteSources; s++ {
+		src := rng.Intn(pt.Peers)
+		for k := 0; k < cfg.RoutesPerSource; k++ {
+			dst := rng.Intn(pt.Peers)
+			if path, ok := ov.Route(src, dst); ok {
+				lat.Add(path.Latency)
+				hops.Add(float64(len(path.Peers) - 1))
+			}
+		}
+	}
+	return Scale100kTopoPoint{
+		IPNodes:      pt.IPNodes,
+		Peers:        pt.Peers,
+		Links:        ov.NumLinks(),
+		GenMS:        genMS,
+		OverlayMS:    overlayMS,
+		HeapMB:       heapMB,
+		RouteAvgMS:   lat.Mean(),
+		RouteAvgHops: hops.Mean(),
+	}
+}
+
+// scale100kDiscovery builds cfg.DiscoveryPeers DHT nodes partitioned into
+// `shards` independent rings by the registry's shard plan, registers a
+// function catalog with the plan's key-hash homing (local put on the home
+// ring, PutVia through an entry member otherwise), then sweeps lookups from
+// random peers. The success count and hop totals must not depend on the
+// shard count — only the build and messaging cost do.
+func scale100kDiscovery(cfg Scale100kConfig, shards int) Scale100kDiscPoint {
+	netRng := newRng(cfg.Seed + 9000)
+	pickRng := newRng(cfg.Seed + 9001)
+	n := cfg.DiscoveryPeers
+
+	sim := simnet.NewSim()
+	nw := simnet.NewNetwork(sim, simnet.ConstantLatency(5*time.Millisecond), netRng)
+	nodes := make([]*dht.Node, n)
+	for i := range nodes {
+		nodes[i] = dht.New(nw.AddNode(p2p.NodeID(i)), nw.Alive)
+	}
+	plan := registry.NewShardPlan(n, shards)
+
+	start := time.Now()
+	for s := 0; s < plan.NumShards; s++ {
+		ring := make([]*dht.Node, len(plan.Members[s]))
+		for j, id := range plan.Members[s] {
+			ring[j] = nodes[int(id)]
+		}
+		dht.Build(ring)
+	}
+	buildMS := float64(time.Since(start).Microseconds()) / 1000
+
+	start = time.Now()
+	for f := 0; f < cfg.Functions; f++ {
+		key := registry.FunctionKey(fmt.Sprintf("fn%d", f))
+		home := plan.Home(key)
+		for p := 0; p < cfg.ProvidersPerFn; p++ {
+			src := pickRng.Intn(n)
+			item := fmt.Sprintf("p%d/fn%d", src, f)
+			if plan.ShardOfPeer(p2p.NodeID(src)) == home {
+				nodes[src].Put(key, item, 96)
+			} else {
+				nodes[src].PutVia(plan.Entries(key)[0], key, item, 96)
+			}
+		}
+	}
+	sim.RunUntilIdle()
+	registerMS := float64(time.Since(start).Microseconds()) / 1000
+
+	okCount := 0
+	var hops metrics.Sample
+	start = time.Now()
+	for l := 0; l < cfg.Lookups; l++ {
+		key := registry.FunctionKey(fmt.Sprintf("fn%d", pickRng.Intn(cfg.Functions)))
+		src := pickRng.Intn(n)
+		collect := func(items []any, h int, ok bool) {
+			if ok && len(items) > 0 {
+				okCount++
+				hops.Add(float64(h))
+			}
+		}
+		if plan.ShardOfPeer(p2p.NodeID(src)) == plan.Home(key) {
+			nodes[src].Get(key, time.Second, collect)
+		} else {
+			nodes[src].GetVia(plan.Entries(key), key, 0, time.Second, collect)
+		}
+	}
+	sim.RunUntilIdle()
+	lookupMS := float64(time.Since(start).Microseconds()) / 1000
+
+	return Scale100kDiscPoint{
+		Peers:      n,
+		Shards:     plan.NumShards,
+		BuildMS:    buildMS,
+		RegisterMS: registerMS,
+		LookupMS:   lookupMS,
+		LookupOK:   okCount,
+		AvgHops:    hops.Mean(),
+	}
+}

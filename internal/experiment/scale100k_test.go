@@ -1,0 +1,61 @@
+package experiment
+
+import "testing"
+
+// scale100kTestConfig shrinks the capacity sweep to seconds while keeping
+// every structural property the full run relies on: multiple grid points,
+// compact overlays, and a sharded discovery plane with a shard-count sweep.
+func scale100kTestConfig() Scale100kConfig {
+	cfg := DefaultScale100kConfig()
+	cfg.Topo = []Scale100kTopo{
+		{IPNodes: 400, Peers: 60},
+		{IPNodes: 800, Peers: 120},
+	}
+	cfg.RouteSources = 16
+	cfg.RoutesPerSource = 2
+	cfg.DiscoveryPeers = 240
+	cfg.Shards = []int{1, 4, 16}
+	cfg.Functions = 24
+	cfg.ProvidersPerFn = 2
+	cfg.Lookups = 60
+	return cfg
+}
+
+// TestScale100kStructuralColumnsDeterministic pins the seed-determinism of
+// everything the sweep reports that is not wall-clock: link counts, simulated
+// route latency and hops, and the discovery success/hop columns.
+func TestScale100kStructuralColumnsDeterministic(t *testing.T) {
+	a := Scale100k(scale100kTestConfig())
+	b := Scale100k(scale100kTestConfig())
+	for i := range a.Topo {
+		x, y := a.Topo[i], b.Topo[i]
+		if x.Links != y.Links || x.RouteAvgMS != y.RouteAvgMS || x.RouteAvgHops != y.RouteAvgHops {
+			t.Errorf("topo point %d structural columns differ: %+v vs %+v", i, x, y)
+		}
+		if x.Links == 0 {
+			t.Errorf("topo point %d built no overlay links", i)
+		}
+	}
+	for i := range a.Discovery {
+		x, y := a.Discovery[i], b.Discovery[i]
+		if x.LookupOK != y.LookupOK || x.AvgHops != y.AvgHops {
+			t.Errorf("discovery point %d structural columns differ: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+// TestScale100kLookupsShardInvariant: key-hash homing means the shard count
+// must not change what discovery finds — every shard count in the sweep
+// resolves the same number of lookups, and all of them.
+func TestScale100kLookupsShardInvariant(t *testing.T) {
+	cfg := scale100kTestConfig()
+	res := Scale100k(cfg)
+	if len(res.Discovery) != len(cfg.Shards) {
+		t.Fatalf("expected %d discovery points, got %d", len(cfg.Shards), len(res.Discovery))
+	}
+	for _, p := range res.Discovery {
+		if p.LookupOK != cfg.Lookups {
+			t.Errorf("shards=%d resolved %d of %d lookups", p.Shards, p.LookupOK, cfg.Lookups)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package registry
+
+import (
+	"fmt"
+
+	"repro/internal/dht"
+	"repro/internal/p2p"
+)
+
+// ShardPlan partitions an unfederated deployment's peers into S independent
+// DHT rings and homes every discovery key on exactly one of them. It
+// generalizes the federation per-domain keyspace shards to deployments with
+// no administrative boundaries: each ring carries O(peers/S) membership
+// state and O(services/S) stored meta-data, and — because the static ring
+// build is quadratic in ring size — construction cost drops by S× as well,
+// which is what makes a 10,000-peer discovery substrate buildable.
+//
+// Homing is by key hash, not by registering peer: all duplicates of a
+// function land in the same ring (on the same root) no matter who registers
+// them, so a single lookup still returns the full duplicate list and shard
+// count cannot change lookup results.
+type ShardPlan struct {
+	NumShards int
+	// Members holds each shard's peers as contiguous ID blocks, mirroring
+	// federation.DomainPlan. Deterministic given (peers, shards).
+	Members [][]p2p.NodeID
+
+	shardOf []int // peer index -> shard
+}
+
+// NewShardPlan splits peers 0..n-1 into shards contiguous blocks. shards is
+// clamped to [1, n].
+func NewShardPlan(n, shards int) *ShardPlan {
+	if n < 1 {
+		panic(fmt.Sprintf("registry: shard plan over %d peers", n))
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	p := &ShardPlan{NumShards: shards, shardOf: make([]int, n)}
+	for s := 0; s < shards; s++ {
+		lo, hi := s*n/shards, (s+1)*n/shards
+		block := make([]p2p.NodeID, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			block = append(block, p2p.NodeID(i))
+			p.shardOf[i] = s
+		}
+		p.Members = append(p.Members, block)
+	}
+	return p
+}
+
+// ShardOfPeer returns the shard the given peer belongs to.
+func (p *ShardPlan) ShardOfPeer(id p2p.NodeID) int { return p.shardOf[int(id)] }
+
+// Home returns the shard whose ring stores the given key: an FNV-1a hash of
+// the key bytes mod the shard count. Purely a function of (key, NumShards),
+// so every peer agrees on a key's home without coordination.
+func (p *ShardPlan) Home(key dht.ID) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h % uint64(p.NumShards))
+}
+
+// Entries returns the deterministic entry members of key's home ring, in
+// retry order: a foreign peer's put enters through the first, and a lookup
+// that times out on the first retries through the second. The pair is spread
+// over the ring by the same key hash that homes the key, so entry load
+// distributes across members while staying identical across runs and worker
+// counts.
+func (p *ShardPlan) Entries(key dht.ID) []p2p.NodeID {
+	members := p.Members[p.Home(key)]
+	h := 0
+	for _, b := range key {
+		h = h*31 + int(b)
+	}
+	if h < 0 {
+		h = -h
+	}
+	i := h % len(members)
+	if len(members) == 1 {
+		return []p2p.NodeID{members[i]}
+	}
+	return []p2p.NodeID{members[i], members[(i+1)%len(members)]}
+}

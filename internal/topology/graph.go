@@ -2,12 +2,22 @@
 // the SpiderNet experiments: a power-law IP-layer graph (a stand-in for the
 // Inet-3.0 generator the paper uses) and a P2P service overlay whose peers
 // are a subset of the IP nodes.
+//
+// A Graph has two phases. During the mutable build phase edges accumulate in
+// per-node adjacency lists with a hash-set dedup index. Freeze packs them
+// into a compressed-sparse-row (CSR) form — one offsets array plus flat
+// edge-target and edge-weight arrays, int32 node ids — and releases the
+// build-phase structures. All query paths (Dijkstra, PairDistances,
+// IsConnected, DegreeHistogram, routing) consume the CSR arrays with zero
+// per-node allocation, which is what lets a 100,000-node graph build and
+// sweep inside a laptop-class memory budget.
 package topology
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Edge is one directed half of an undirected IP-layer link.
@@ -17,17 +27,27 @@ type Edge struct {
 }
 
 // Graph is an undirected IP-layer graph with latency-weighted links.
-// An edge-set index keyed on the node pair makes AddEdge/HasEdge O(1), so
-// construction of an n-node graph is O(n + m) instead of O(n·m·deg).
+// An edge-set index keyed on the node pair makes AddEdge/HasEdge O(1)
+// during the build phase; Freeze converts to the packed CSR form.
 type Graph struct {
-	n     int
+	n int
+	m int // number of undirected edges
+
+	// Build phase (released by Freeze).
 	adj   [][]Edge
-	m     int // number of undirected edges
 	edges map[uint64]struct{}
+
+	// Frozen CSR: node u's incident half-edges are to[off[u]:off[u+1]]
+	// with weights w at the same indices, packed in insertion order so
+	// relaxation order — and therefore every float fold — is identical to
+	// the adjacency-list representation.
+	off []int32
+	to  []int32
+	w   []float64
 }
 
 // pairKey packs an unordered node pair into one map key. Node indices are
-// bounded well below 2^32 (the paper tops out at 10,000).
+// bounded well below 2^32 (the 100k sweep is three decimal orders under it).
 func pairKey(u, v int) uint64 {
 	if u > v {
 		u, v = v, u
@@ -49,9 +69,16 @@ func (g *Graph) N() int { return g.n }
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return g.m }
 
+// Frozen reports whether the graph has been packed into CSR form.
+func (g *Graph) Frozen() bool { return g.off != nil }
+
 // AddEdge inserts an undirected link between u and v with the given latency.
-// Self-loops and duplicate edges are ignored.
+// Self-loops and duplicate edges are ignored. Adding to a frozen graph
+// panics: the CSR arrays are immutable by construction.
 func (g *Graph) AddEdge(u, v int, latency float64) {
+	if g.Frozen() {
+		panic("topology: AddEdge on frozen graph")
+	}
 	if u == v {
 		return
 	}
@@ -65,18 +92,74 @@ func (g *Graph) AddEdge(u, v int, latency float64) {
 	g.m++
 }
 
-// HasEdge reports whether an undirected link between u and v exists.
+// Freeze packs the adjacency lists into the CSR arrays and releases the
+// build-phase structures (per-node slices and the edge-set index). It is
+// idempotent; query methods freeze lazily, and the generators freeze before
+// returning so a generated graph starts life compact.
+func (g *Graph) Freeze() {
+	if g.Frozen() {
+		return
+	}
+	g.off = make([]int32, g.n+1)
+	for u, es := range g.adj {
+		g.off[u+1] = g.off[u] + int32(len(es))
+	}
+	half := g.off[g.n]
+	g.to = make([]int32, half)
+	g.w = make([]float64, half)
+	for u, es := range g.adj {
+		base := g.off[u]
+		for i, e := range es {
+			g.to[base+int32(i)] = int32(e.To)
+			g.w[base+int32(i)] = e.Latency
+		}
+	}
+	g.adj = nil
+	g.edges = nil
+}
+
+// HasEdge reports whether an undirected link between u and v exists. On a
+// frozen graph this scans the shorter of the two CSR rows (degrees are tiny
+// in every generated topology).
 func (g *Graph) HasEdge(u, v int) bool {
-	_, ok := g.edges[pairKey(u, v)]
-	return ok
+	if !g.Frozen() {
+		_, ok := g.edges[pairKey(u, v)]
+		return ok
+	}
+	if g.Degree(v) < g.Degree(u) {
+		u, v = v, u
+	}
+	for i, end := g.off[u], g.off[u+1]; i < end; i++ {
+		if int(g.to[i]) == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Degree returns the number of links incident to u.
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int {
+	if g.Frozen() {
+		return int(g.off[u+1] - g.off[u])
+	}
+	return len(g.adj[u])
+}
 
-// Neighbors returns the adjacency list of u. The returned slice must not be
-// modified.
-func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+// Neighbors returns the adjacency list of u. On an unfrozen graph the
+// returned slice aliases internal state and must not be modified; on a
+// frozen graph it is materialized from the CSR row (diagnostic/test use —
+// hot paths iterate the CSR arrays directly).
+func (g *Graph) Neighbors(u int) []Edge {
+	if !g.Frozen() {
+		return g.adj[u]
+	}
+	start, end := g.off[u], g.off[u+1]
+	out := make([]Edge, 0, end-start)
+	for i := start; i < end; i++ {
+		out = append(out, Edge{To: int(g.to[i]), Latency: g.w[i]})
+	}
+	return out
+}
 
 // Dijkstra computes single-source shortest-path latencies from src.
 // Unreachable nodes get +Inf.
@@ -89,9 +172,12 @@ func (g *Graph) Dijkstra(src int) []float64 {
 
 // dijkstraInto runs Dijkstra from src into dist (len g.n), reusing h's
 // backing arrays. The indexed heap supports decrease-key, so the queue never
-// holds stale duplicates: exactly one pop per reachable node, which is what
-// makes the overlay's thousand-source batch fast.
+// holds stale duplicates: exactly one pop per reachable node. The scan is a
+// straight walk of the CSR arrays — no per-node allocation, no pointer
+// chasing through per-node slices — which is what makes the overlay's
+// ten-thousand-source batch fast.
 func (g *Graph) dijkstraInto(src int, dist []float64, h *nodeHeap) {
+	g.Freeze()
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
@@ -101,10 +187,11 @@ func (g *Graph) dijkstraInto(src int, dist []float64, h *nodeHeap) {
 	for len(h.nodes) > 0 {
 		u := h.pop(dist)
 		du := dist[u]
-		for _, e := range g.adj[u] {
-			if nd := du + e.Latency; nd < dist[e.To] {
-				dist[e.To] = nd
-				h.update(dist, int32(e.To))
+		for i, end := g.off[u], g.off[u+1]; i < end; i++ {
+			v := g.to[i]
+			if nd := du + g.w[i]; nd < dist[v] {
+				dist[v] = nd
+				h.update(dist, v)
 			}
 		}
 	}
@@ -129,6 +216,79 @@ func (g *Graph) PairDistances(nodes []int) [][]float64 {
 		out[i] = row
 	}
 	return out
+}
+
+// settledPeer is one (node, distance) pair produced by NearestPeers.
+type settledPeer struct {
+	node int32
+	dist float64
+}
+
+// truncState holds the reusable buffers of the truncated Dijkstra. The dist
+// and pos arrays are initialized once and restored after every search by
+// walking the touched list, so a search over a small ball costs O(ball), not
+// O(n) — the difference between 10,000 cheap searches and 10,000 full-array
+// resets on a 100,000-node graph.
+type truncState struct {
+	dist    []float64
+	pos     []int32
+	nodes   []int32
+	touched []int32
+	out     []settledPeer
+}
+
+func (s *truncState) init(n int) {
+	if len(s.dist) != n {
+		s.dist = make([]float64, n)
+		s.pos = make([]int32, n)
+		for i := range s.dist {
+			s.dist[i] = math.Inf(1)
+			s.pos[i] = -1
+		}
+	}
+	s.nodes = s.nodes[:0]
+	s.out = s.out[:0]
+}
+
+// nearestPeers runs Dijkstra from src until k nodes for which isPeer returns
+// true (excluding src itself) have been settled, and appends them in settle
+// order — ascending distance — to s.out. Settle order is the k-nearest-peer
+// set: Dijkstra pops nodes in nondecreasing distance. The search touches
+// only the ball around src, and s's buffers are restored before returning.
+func (g *Graph) nearestPeers(src int, isPeer func(int32) bool, k int, s *truncState) []settledPeer {
+	g.Freeze()
+	s.init(g.n)
+	h := nodeHeap{nodes: s.nodes, pos: s.pos}
+	s.dist[src] = 0
+	s.touched = append(s.touched[:0], int32(src))
+	h.update(s.dist, int32(src))
+	for len(h.nodes) > 0 && len(s.out) < k {
+		u := h.pop(s.dist)
+		if int(u) != src && isPeer(u) {
+			s.out = append(s.out, settledPeer{node: u, dist: s.dist[u]})
+			if len(s.out) == k {
+				break
+			}
+		}
+		du := s.dist[u]
+		for i, end := g.off[u], g.off[u+1]; i < end; i++ {
+			v := g.to[i]
+			if nd := du + g.w[i]; nd < s.dist[v] {
+				if math.IsInf(s.dist[v], 1) {
+					s.touched = append(s.touched, v)
+				}
+				s.dist[v] = nd
+				h.update(s.dist, v)
+			}
+		}
+	}
+	// Restore the touched entries (including any still sitting in the heap).
+	for _, v := range s.touched {
+		s.dist[v] = math.Inf(1)
+		s.pos[v] = -1
+	}
+	s.nodes = h.nodes[:0]
+	return s.out
 }
 
 // nodeHeap is an indexed binary min-heap of graph nodes keyed by their
@@ -209,32 +369,46 @@ func (g *Graph) IsConnected() bool {
 	if g.n == 0 {
 		return true
 	}
+	g.Freeze()
 	seen := make([]bool, g.n)
-	stack := []int{0}
+	stack := []int32{0}
 	seen[0] = true
 	count := 1
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, e := range g.adj[u] {
-			if !seen[e.To] {
-				seen[e.To] = true
+		for i, end := g.off[u], g.off[u+1]; i < end; i++ {
+			if v := g.to[i]; !seen[v] {
+				seen[v] = true
 				count++
-				stack = append(stack, e.To)
+				stack = append(stack, v)
 			}
 		}
 	}
 	return count == g.n
 }
 
-// DegreeHistogram returns a map from degree to node count, used to validate
-// the power-law shape of generated graphs.
-func (g *Graph) DegreeHistogram() map[int]int {
-	h := make(map[int]int)
+// DegreeCount is one row of a degree histogram: Count nodes have exactly
+// Degree incident links.
+type DegreeCount struct {
+	Degree int
+	Count  int
+}
+
+// DegreeHistogram returns the degree distribution sorted by ascending
+// degree. The sorted slice replaces the map this used to return: map
+// iteration order leaked into summaries and made them nondeterministic.
+func (g *Graph) DegreeHistogram() []DegreeCount {
+	counts := make(map[int]int)
 	for u := 0; u < g.n; u++ {
-		h[g.Degree(u)]++
+		counts[g.Degree(u)]++
 	}
-	return h
+	out := make([]DegreeCount, 0, len(counts))
+	for d, c := range counts {
+		out = append(out, DegreeCount{Degree: d, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Degree < out[j].Degree })
+	return out
 }
 
 type distItem struct {
@@ -294,7 +468,8 @@ func (pq *distPQ) pop() distItem {
 // degree-based preferential attachment (Barabási–Albert), the same family of
 // degree-driven generators as Inet-3.0. Each new node attaches m links to
 // existing nodes chosen with probability proportional to their degree. Link
-// latencies are sampled uniformly from [minLat, maxLat) milliseconds.
+// latencies are sampled uniformly from [minLat, maxLat) milliseconds. The
+// returned graph is frozen.
 func GeneratePowerLaw(n, m int, minLat, maxLat float64, rng *rand.Rand) *Graph {
 	if m < 1 {
 		m = 1
@@ -326,6 +501,7 @@ func GeneratePowerLaw(n, m int, minLat, maxLat float64, rng *rand.Rand) *Graph {
 			targets = append(targets, u, v)
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -375,7 +551,7 @@ func pickPreferential(targets []int, m, exclude int, rng *rand.Rand, scratch []i
 
 // GenerateRandom builds a connected Erdős–Rényi-style graph with n nodes and
 // roughly avgDegree links per node. A random chain is inserted first to
-// guarantee connectivity.
+// guarantee connectivity. The returned graph is frozen.
 func GenerateRandom(n, avgDegree int, minLat, maxLat float64, rng *rand.Rand) *Graph {
 	g := NewGraph(n)
 	lat := func() float64 { return minLat + rng.Float64()*(maxLat-minLat) }
@@ -388,5 +564,6 @@ func GenerateRandom(n, avgDegree int, minLat, maxLat float64, rng *rand.Rand) *G
 		u, v := rng.Intn(n), rng.Intn(n)
 		g.AddEdge(u, v, lat())
 	}
+	g.Freeze()
 	return g
 }

@@ -107,10 +107,40 @@ func TestDegreeHistogramSums(t *testing.T) {
 	h := g.DegreeHistogram()
 	total := 0
 	for _, c := range h {
-		total += c
+		total += c.Count
 	}
 	if total != g.N() {
 		t.Fatalf("histogram counts %d nodes, want %d", total, g.N())
+	}
+}
+
+// TestDegreeHistogramDeterministic is the regression test for the old
+// map-ordered output: the histogram must come back sorted ascending by
+// degree, identically on every call, with no zero-count or duplicate rows.
+func TestDegreeHistogramDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := GeneratePowerLaw(500, 2, 2, 30, rng)
+	h := g.DegreeHistogram()
+	for i := 1; i < len(h); i++ {
+		if h[i].Degree <= h[i-1].Degree {
+			t.Fatalf("degrees not strictly ascending at %d: %v then %v", i, h[i-1], h[i])
+		}
+	}
+	for _, c := range h {
+		if c.Count <= 0 {
+			t.Fatalf("zero-count row %+v", c)
+		}
+	}
+	for trial := 0; trial < 3; trial++ {
+		again := g.DegreeHistogram()
+		if len(again) != len(h) {
+			t.Fatalf("length changed across calls: %d vs %d", len(again), len(h))
+		}
+		for i := range h {
+			if again[i] != h[i] {
+				t.Fatalf("row %d changed across calls: %+v vs %+v", i, again[i], h[i])
+			}
+		}
 	}
 }
 

@@ -54,9 +54,13 @@ type Path struct {
 // oracles. Overlay links model the application-level connections data
 // streams travel on; control messages between any two peers use the direct
 // IP-layer latency.
+//
+// Like Graph, the link set has a mutable build phase and a frozen CSR form:
+// routing consumes packed per-peer (neighbor, link, latency) arrays built
+// lazily on the first Route and invalidated by AddPeer.
 type Overlay struct {
 	peerIP  []int
-	lat     [][]float64 // pairwise peer latency over IP shortest paths
+	lat     [][]float64 // pairwise peer latency over IP shortest paths; nil in compact mode
 	links   []overlayLink
 	adj     [][]int             // per-peer incident link indices
 	linkSet map[uint64]struct{} // unordered peer pairs with a link, for O(1) hasLink
@@ -64,6 +68,15 @@ type Overlay struct {
 	capMin, capMax float64 // link capacity range, for peers added later
 
 	routeCache map[int]routeTable
+
+	// Frozen link CSR: peer p's incident links occupy [loff[p], loff[p+1])
+	// in lto (the far endpoint), llink (the link index), and llat (the link
+	// latency), packed in adj insertion order so routing relaxes in exactly
+	// the order the slice-of-slices representation did.
+	loff  []int32
+	lto   []int32
+	llink []int32
+	llat  []float64
 }
 
 type routeTable struct {
@@ -79,6 +92,13 @@ type OverlayConfig struct {
 	Degree   int     // target links per peer (k for Mesh, m for power-law, avg for random)
 	CapMin   float64 // overlay link capacity range, kbps
 	CapMax   float64
+	// Compact skips the O(peers²) pairwise latency matrix: mesh links are
+	// found with truncated per-peer Dijkstra searches (stop once the k
+	// nearest peers have settled), and Latency falls back to overlay-path
+	// latency for unlinked pairs. This is the only mode that fits a
+	// 10,000-peer overlay in a laptop-class memory budget; it supports
+	// Kind == Mesh only and does not support AddPeer.
+	Compact bool
 }
 
 // BuildOverlay selects cfg.NumPeers distinct IP nodes from g as peers,
@@ -102,6 +122,13 @@ func BuildOverlay(g *Graph, cfg OverlayConfig, rng *rand.Rand) *Overlay {
 		capMin:     cfg.CapMin,
 		capMax:     cfg.CapMax,
 		routeCache: make(map[int]routeTable),
+	}
+	if cfg.Compact {
+		if cfg.Kind != Mesh {
+			panic("topology: compact overlays support the mesh kind only")
+		}
+		o.buildCompactMesh(g, cfg, rng)
+		return o
 	}
 	// Pairwise peer latency over IP shortest paths, computed in one batched
 	// pass that reuses the Dijkstra buffers across sources.
@@ -169,6 +196,42 @@ func BuildOverlay(g *Graph, cfg OverlayConfig, rng *rand.Rand) *Overlay {
 	return o
 }
 
+// buildCompactMesh wires each peer to its Degree nearest peers without ever
+// materializing the pairwise latency matrix. One truncated Dijkstra per peer
+// settles just the ball around its host until Degree foreign peers have been
+// found; link latency is the settled IP-layer distance. Memory is O(peers +
+// links + IP nodes) instead of O(peers²).
+func (o *Overlay) buildCompactMesh(g *Graph, cfg OverlayConfig, rng *rand.Rand) {
+	n := len(o.peerIP)
+	peerOf := make([]int32, g.N())
+	for i := range peerOf {
+		peerOf[i] = -1
+	}
+	for p, ip := range o.peerIP {
+		peerOf[ip] = int32(p)
+	}
+	isPeer := func(v int32) bool { return peerOf[v] >= 0 }
+	var ts truncState
+	for u := 0; u < n; u++ {
+		for _, sp := range g.nearestPeers(o.peerIP[u], isPeer, cfg.Degree, &ts) {
+			v := int(peerOf[sp.node])
+			if u == v || o.hasLink(u, v) {
+				continue
+			}
+			o.linkSet[pairKey(u, v)] = struct{}{}
+			idx := len(o.links)
+			c := cfg.CapMin + rng.Float64()*(cfg.CapMax-cfg.CapMin)
+			o.links = append(o.links, overlayLink{u: u, v: v, latency: sp.dist, capacity: c, avail: c})
+			o.adj[u] = append(o.adj[u], idx)
+			o.adj[v] = append(o.adj[v], idx)
+		}
+	}
+}
+
+// Compact reports whether this overlay was built without the pairwise
+// latency matrix.
+func (o *Overlay) Compact() bool { return o.lat == nil }
+
 func (o *Overlay) hasLink(u, v int) bool {
 	_, ok := o.linkSet[pairKey(u, v)]
 	return ok
@@ -184,12 +247,20 @@ func (o *Overlay) NumLinks() int { return len(o.links) }
 func (o *Overlay) PeerIP(p int) int { return o.peerIP[p] }
 
 // Latency returns the one-way control-message latency between peers a and b
-// in milliseconds (the IP-layer shortest path between their hosts).
+// in milliseconds (the IP-layer shortest path between their hosts). On a
+// compact overlay the matrix does not exist: linked pairs answer from the
+// link, anything else from the overlay-path latency (+Inf when disconnected).
 func (o *Overlay) Latency(a, b int) float64 {
 	if a == b {
 		return 0
 	}
-	return o.lat[a][b]
+	if o.lat != nil {
+		return o.lat[a][b]
+	}
+	if p, ok := o.Route(a, b); ok {
+		return p.Latency
+	}
+	return math.Inf(1)
 }
 
 // Degree returns the number of overlay links incident to peer p.
@@ -201,6 +272,9 @@ func (o *Overlay) Degree(p int) int { return len(o.adj[p]) }
 // route cache is invalidated. It returns the new peer's index. This is the
 // data-plane half of a dynamic peer arrival.
 func (o *Overlay) AddPeer(g *Graph, ip, degree int, rng *rand.Rand) int {
+	if o.lat == nil {
+		panic("topology: AddPeer on a compact overlay")
+	}
 	dist := g.Dijkstra(ip)
 	n := len(o.peerIP)
 	row := make([]float64, n+1)
@@ -233,7 +307,35 @@ func (o *Overlay) AddPeer(g *Graph, ip, degree int, rng *rand.Rand) int {
 		o.adj[v] = append(o.adj[v], idx)
 	}
 	o.routeCache = make(map[int]routeTable)
+	o.loff, o.lto, o.llink, o.llat = nil, nil, nil, nil
 	return n
+}
+
+// freezeLinks packs the per-peer link lists into the frozen CSR arrays.
+func (o *Overlay) freezeLinks() {
+	n := o.N()
+	o.loff = make([]int32, n+1)
+	for p, idxs := range o.adj {
+		o.loff[p+1] = o.loff[p] + int32(len(idxs))
+	}
+	half := o.loff[n]
+	o.lto = make([]int32, half)
+	o.llink = make([]int32, half)
+	o.llat = make([]float64, half)
+	for p, idxs := range o.adj {
+		at := o.loff[p]
+		for _, idx := range idxs {
+			l := o.links[idx]
+			to := l.u
+			if to == p {
+				to = l.v
+			}
+			o.lto[at] = int32(to)
+			o.llink[at] = int32(idx)
+			o.llat[at] = l.latency
+			at++
+		}
+	}
 }
 
 // Route returns the shortest-latency overlay path from a to b, or ok=false
@@ -271,6 +373,9 @@ func (o *Overlay) Route(a, b int) (Path, bool) {
 }
 
 func (o *Overlay) dijkstra(src int) routeTable {
+	if o.loff == nil {
+		o.freezeLinks()
+	}
 	n := o.N()
 	rt := routeTable{
 		dist:     make([]float64, n),
@@ -290,16 +395,12 @@ func (o *Overlay) dijkstra(src int) routeTable {
 		if it.dist > rt.dist[it.node] {
 			continue
 		}
-		for _, idx := range o.adj[it.node] {
-			l := o.links[idx]
-			to := l.u
-			if to == it.node {
-				to = l.v
-			}
-			if nd := it.dist + l.latency; nd < rt.dist[to] {
+		for i, end := o.loff[it.node], o.loff[it.node+1]; i < end; i++ {
+			to := int(o.lto[i])
+			if nd := it.dist + o.llat[i]; nd < rt.dist[to] {
 				rt.dist[to] = nd
 				rt.prevPeer[to] = it.node
-				rt.prevLink[to] = idx
+				rt.prevLink[to] = int(o.llink[i])
 				pq.push(distItem{node: to, dist: nd})
 			}
 		}

@@ -30,6 +30,14 @@ go test -cover ./... | awk '
     }
     END { exit bad }'
 
+# Memory-budget gate: building the 100k-node CSR graph plus the 10k-peer
+# compact overlay must fit the live-heap budget asserted by the test (64 MB;
+# measured ~10 MB). A failure means a dense structure crept back into the
+# frozen representation — most likely the O(peers^2) latency matrix or a
+# per-node allocation in the Dijkstra hot path.
+echo "== memory budget gate (100k nodes / 10k peers)"
+go test -run TestMemoryBudget100k -count=1 ./internal/topology/
+
 # Trace gate: the same seed must produce byte-identical JSONL traces, the
 # traces must satisfy the protocol invariants (spidersim -check), and the
 # gzip trace path must round-trip to the same events.
@@ -77,6 +85,28 @@ echo "== chaos gate (loss=0.2, dup=0.05, jitter=10ms)"
 "$tmp/spidersim" -seed 7 -ipnodes 400 -peers 60 -requests 100 -duration 3m \
     -faults "loss=0.2,dup=0.05,jitter=10ms,seed=3" -check -trace "$tmp/f2.jsonl" > /dev/null
 cmp "$tmp/f1.jsonl" "$tmp/f2.jsonl"
+
+# Sharding gate: a 16-shard keyspace under the same chaos mix must finish
+# with zero hung compositions and a clean invariant check, stay byte-
+# deterministic across re-runs, and — with a single shard — produce exactly
+# the trace the unsharded ring produces (Shards=1 homes every key locally).
+# The 4m horizon leaves room for late recovery re-compositions: probe
+# conservation requires every in-flight cross-ring get to resolve (deliver
+# or final-timeout) before the sim stops, and recovery can re-compose up to
+# 0.8*duration after the last scheduled arrival.
+echo "== sharded discovery gate (16 shards under chaos; 1 shard == unsharded)"
+"$tmp/spidersim" -seed 7 -ipnodes 400 -peers 64 -requests 100 -duration 4m \
+    -shards 16 -faults "loss=0.2,dup=0.05,jitter=10ms,seed=3" -check \
+    -trace "$tmp/sh1.jsonl" > /dev/null
+"$tmp/spidersim" -seed 7 -ipnodes 400 -peers 64 -requests 100 -duration 4m \
+    -shards 16 -faults "loss=0.2,dup=0.05,jitter=10ms,seed=3" -check \
+    -trace "$tmp/sh2.jsonl" > /dev/null
+cmp "$tmp/sh1.jsonl" "$tmp/sh2.jsonl"
+"$tmp/spidersim" -seed 7 -ipnodes 400 -peers 64 -requests 40 -duration 2m \
+    -trace "$tmp/sh0.jsonl" > /dev/null
+"$tmp/spidersim" -seed 7 -ipnodes 400 -peers 64 -requests 40 -duration 2m \
+    -shards 1 -trace "$tmp/sh1eq.jsonl" > /dev/null
+cmp "$tmp/sh0.jsonl" "$tmp/sh1eq.jsonl"
 
 # Federation chaos gate: partition one whole domain across the commit window
 # of a federated run. After the heal and a full lease drain the run must show
