@@ -12,6 +12,7 @@
 //	spiderbench -fig overhead     # BCP vs centralized overhead
 //	spiderbench -fig federate     # cross-domain 2PC sweep, domains x gateways x faults
 //	spiderbench -fig scale100k    # 100k-node/10k-peer capacity sweep (not part of "all")
+//	spiderbench -fig scale1m      # 1M-node/100k-peer capacity sweep (not part of "all")
 //	spiderbench -fig all
 //	spiderbench -bench            # microbenchmarks -> BENCH_<timestamp>.json
 package main
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 10, 11, scale, overhead, federate, scale100k, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 10, 11, scale, overhead, federate, scale100k, scale1m, all")
 	paper := flag.Bool("paper", false, "use the paper's full dimensions (slow)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
@@ -277,8 +278,25 @@ func main() {
 			writeCSV("scale100k_disc", res.DiscTable)
 		})
 	}
+	// The million-node sweep is likewise explicit-only, and is the headline
+	// capacity run: 1M IP nodes, a 100k-peer compact overlay under a bounded
+	// route cache, and a 100k-peer sorted-ring discovery plane.
+	if *fig == "scale1m" {
+		ran = true
+		run("Scale1m (capacity sweep)", func() {
+			cfg := experiment.DefaultScale1mConfig()
+			cfg.Seed = *seed
+			cfg.Trace = trace
+			cfg.Parallel = *parallel
+			res := experiment.Scale1m(cfg)
+			res.TopoTable.Render(os.Stdout)
+			res.DiscTable.Render(os.Stdout)
+			writeCSV("scale1m_topo", res.TopoTable)
+			writeCSV("scale1m_disc", res.DiscTable)
+		})
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q; want 8, 9, 10, 11, scale, overhead, federate, scale100k, or all\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q; want 8, 9, 10, 11, scale, overhead, federate, scale100k, scale1m, or all\n", *fig)
 		os.Exit(2)
 	}
 	if tf != nil {

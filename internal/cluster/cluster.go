@@ -57,8 +57,9 @@ type Options struct {
 	DynamicJoin bool
 	// Shards, when > 1, splits the unfederated deployment's DHT keyspace
 	// across that many independent rings (registry.ShardPlan): registry and
-	// discovery state is O(services per shard) and ring construction is
-	// quadratic in the shard size instead of the peer count. Key homing is by
+	// discovery state is O(services per shard), and each ring's membership
+	// state is bounded by the shard size instead of the peer count (the
+	// sorted-ring build is O(n·log n) either way). Key homing is by
 	// hash, so lookup results are identical at any shard count. Mutually
 	// exclusive with Domains (federation already shards per domain) and with
 	// DynamicJoin. 0 or 1 builds the single flat ring, byte-identical to
@@ -374,9 +375,10 @@ func New(opts Options) *Cluster {
 		}
 	case splan != nil:
 		// One DHT ring per keyspace shard: each ring's members only ever
-		// learn each other, and the static O(ring²) build runs S times over
-		// rings of size peers/S — an S× saving that dominates setup time at
-		// 10k peers.
+		// learn each other. The sorted-ring build is O(n·log n), so running
+		// it S times over rings of size peers/S costs about the same as one
+		// flat build — sharding here buys bounded per-ring state and local
+		// maintenance traffic, not construction time.
 		for _, members := range splan.Members {
 			ring := make([]*dht.Node, len(members))
 			for i, id := range members {

@@ -97,12 +97,12 @@ type Node struct {
 	self  Entry
 	alive func(p2p.NodeID) bool
 
-	leaves []Entry              // sorted by circular distance to self, <= LeafSize
-	table  [NumDigits][16]Entry // empty slots have Addr == p2p.NoNode
+	leaves []Entry     // sorted by circular distance to self, <= LeafSize
+	rows   []*tableRow // routing table rows; nil slice/row slots are empty
 
-	store   map[ID][]any
+	store   map[ID][]any // allocated on first stored item
 	nextReq uint64
-	pending map[uint64]*getReq
+	pending map[uint64]*getReq // allocated on first in-flight lookup
 
 	// Trace receives routing events when non-nil; Ctr accumulates hop
 	// counters; Met observes lookup-latency histograms. All are optional
@@ -124,24 +124,30 @@ type getReq struct {
 	via      []p2p.NodeID  // cross-ring entry candidates (GetVia); nil for in-ring gets
 }
 
+// tableRow is one routing-table row: the known entry (if any) for each next
+// digit. Empty slots have Addr == p2p.NoNode. Rows are allocated lazily on
+// first use: with random identifiers only the first ~log16(n) rows ever hold
+// an entry, so the eager [NumDigits][16]Entry array this replaces (12 KB per
+// node) wasted three orders of magnitude of routing-table space — the
+// difference between a 100,000-peer discovery plane fitting in a few hundred
+// MB and it needing over a gigabyte.
+type tableRow [16]Entry
+
 // New creates a DHT node on host. alive is the liveness oracle standing in
 // for Pastry's neighbor keepalives: routing skips entries it reports dead.
 // A nil alive treats every peer as up.
+//
+// All per-node collections (routing rows, the item store, the pending-lookup
+// map) are allocated on first use, so a freshly built node that never stores
+// or looks anything up costs little more than its leaf set.
 func New(host p2p.Node, alive func(p2p.NodeID) bool) *Node {
 	if alive == nil {
 		alive = func(p2p.NodeID) bool { return true }
 	}
 	n := &Node{
-		host:    host,
-		self:    Entry{ID: FromNode(host.ID()), Addr: host.ID()},
-		alive:   alive,
-		store:   make(map[ID][]any),
-		pending: make(map[uint64]*getReq),
-	}
-	for i := range n.table {
-		for j := range n.table[i] {
-			n.table[i][j].Addr = p2p.NoNode
-		}
+		host:  host,
+		self:  Entry{ID: FromNode(host.ID()), Addr: host.ID()},
+		alive: alive,
 	}
 	host.Handle(MsgRoute, n.onRoute)
 	host.Handle(MsgGetResp, n.onGetResp)
@@ -164,9 +170,28 @@ func (n *Node) NumLeaves() int { return len(n.leaves) }
 // replicas).
 func (n *Node) StoredUnder(key ID) int { return len(n.store[key]) }
 
+// tableRow returns the routing-table row for the given prefix length,
+// allocating it (and the row index) on first use. Fresh slots read as empty
+// (Addr == p2p.NoNode).
+func (n *Node) tableRow(row int) *tableRow {
+	if n.rows == nil {
+		n.rows = make([]*tableRow, NumDigits)
+	}
+	r := n.rows[row]
+	if r == nil {
+		r = new(tableRow)
+		for i := range r {
+			r[i].Addr = p2p.NoNode
+		}
+		n.rows[row] = r
+	}
+	return r
+}
+
 // AddEntry incorporates a known (id, addr) pair into the leaf set and
-// routing table. It is the primitive both the static Build and the dynamic
-// join/announce paths use.
+// routing table. It is the primitive the dynamic join/announce paths and the
+// legacy all-pairs build use; the sorted-ring Build writes the same slots
+// directly.
 func (n *Node) AddEntry(e Entry) {
 	if e.Addr == n.self.Addr {
 		return
@@ -175,7 +200,7 @@ func (n *Node) AddEntry(e Entry) {
 	row := n.self.ID.CommonPrefix(e.ID)
 	if row < NumDigits {
 		col := e.ID.Digit(row)
-		slot := &n.table[row][col]
+		slot := &n.tableRow(row)[col]
 		if slot.Addr == p2p.NoNode || !n.alive(slot.Addr) {
 			*slot = e
 		}
@@ -203,16 +228,22 @@ func sortEntries(s []Entry, less func(a, b Entry) bool) {
 	}
 }
 
-// knownEntries yields every live entry this node can route through.
+// knownEntries yields every live entry this node can route through. The
+// visit order (leaves, then table rows by ascending prefix length and digit)
+// matches the eager-array representation exactly, so routing decisions — and
+// with them every trace — are unchanged by the lazy rows.
 func (n *Node) knownEntries(visit func(Entry)) {
 	for _, e := range n.leaves {
 		if n.alive(e.Addr) {
 			visit(e)
 		}
 	}
-	for row := range n.table {
-		for col := range n.table[row] {
-			e := n.table[row][col]
+	for _, r := range n.rows {
+		if r == nil {
+			continue
+		}
+		for col := range r {
+			e := r[col]
 			if e.Addr != p2p.NoNode && n.alive(e.Addr) {
 				visit(e)
 			}
@@ -325,6 +356,9 @@ func (n *Node) onRoute(_ p2p.Node, msg p2p.Message) {
 func (n *Node) deliver(rm RouteMsg) {
 	switch {
 	case rm.Put != nil:
+		if n.store == nil {
+			n.store = make(map[ID][]any)
+		}
 		n.store[rm.Key] = append(n.store[rm.Key], rm.Put.Item)
 		n.replicate(rm.Key, rm.Put.Item, rm.Put.Size)
 	case rm.Get != nil:
@@ -372,6 +406,9 @@ func (n *Node) onReplica(_ p2p.Node, msg p2p.Message) {
 		if it == rm.Item {
 			return // idempotent for comparable items
 		}
+	}
+	if n.store == nil {
+		n.store = make(map[ID][]any)
 	}
 	n.store[rm.Key] = append(n.store[rm.Key], rm.Item)
 }
@@ -445,6 +482,9 @@ func (n *Node) GetSpan(key ID, span uint64, timeout time.Duration, cb func(items
 	n.nextReq++
 	id := n.nextReq
 	req := &getReq{key: key, span: span, cb: cb, timeout: timeout, started: n.host.Now()}
+	if n.pending == nil {
+		n.pending = make(map[uint64]*getReq)
+	}
 	n.pending[id] = req
 	req.cancel = n.host.After(timeout, func() { n.getTimeout(id) })
 	req.firstHop = n.sendGet(id, key, span, p2p.NoNode)
@@ -467,6 +507,9 @@ func (n *Node) GetVia(entries []p2p.NodeID, key ID, span uint64, timeout time.Du
 	n.nextReq++
 	id := n.nextReq
 	req := &getReq{key: key, span: span, cb: cb, timeout: timeout, started: n.host.Now(), via: entries}
+	if n.pending == nil {
+		n.pending = make(map[uint64]*getReq)
+	}
 	n.pending[id] = req
 	req.cancel = n.host.After(timeout, func() { n.getTimeout(id) })
 	req.firstHop = n.sendGetVia(id, key, span, entries[0])
@@ -543,18 +586,4 @@ func (n *Node) onGetResp(_ p2p.Node, msg p2p.Message) {
 		n.Met.DHTLookup.ObserveDuration(n.host.Now() - req.started)
 	}
 	req.cb(gr.Items, gr.Hops, true)
-}
-
-// Build wires a set of nodes into a consistent ring from global knowledge,
-// the static construction experiments use instead of serial joins. Each node
-// learns every other node's entry; AddEntry keeps only the relevant leaf and
-// table slots.
-func Build(nodes []*Node) {
-	for _, a := range nodes {
-		for _, b := range nodes {
-			if a != b {
-				a.AddEntry(b.self)
-			}
-		}
-	}
 }

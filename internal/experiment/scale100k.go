@@ -33,9 +33,10 @@ type Scale100kConfig struct {
 	// DiscoveryPeers is the DHT population for the discovery cells.
 	DiscoveryPeers int
 	// Shards lists the keyspace shard counts swept by the discovery cells.
-	// Ring construction is quadratic in ring size, so S shards cut static
-	// build work by ~S; lookups for foreign keys pay the cross-ring entry
-	// hop instead.
+	// With the O(n·log n) sorted-ring build, shard count no longer moves
+	// construction cost much; the sweep keeps it to show that per-ring state
+	// shrinks by ~S while lookups for foreign keys pay only the cross-ring
+	// entry hop.
 	Shards []int
 	// Functions / ProvidersPerFn / Lookups size the discovery workload.
 	Functions, ProvidersPerFn, Lookups int
@@ -87,7 +88,7 @@ type Scale100kTopoPoint struct {
 // Scale100kDiscPoint is one discovery cell's result.
 type Scale100kDiscPoint struct {
 	Peers, Shards int
-	BuildMS       float64 // wall-clock: S quadratic ring builds
+	BuildMS       float64 // wall-clock: S sorted-ring O(n·log n) builds
 	RegisterMS    float64 // wall-clock: puts + simulated delivery
 	LookupMS      float64 // wall-clock: gets + simulated delivery
 	LookupOK      int     // deterministic

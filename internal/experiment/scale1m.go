@@ -1,0 +1,304 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dht"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/p2p"
+	"repro/internal/registry"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Scale1mConfig parameterizes the million-node capacity sweep — the sweep the
+// sub-quadratic core exists for. It stretches three structures at once: the
+// frozen-CSR IP topology to 10^6 nodes, the compact overlay to 10^5 peers
+// under a deliberately tiny route-cache bound (so the LRU + truncated-search
+// path is what's being measured, not an unbounded table collection), and the
+// sorted-ring discovery plane to 10^5 DHT peers. As with Scale100k, the
+// wall-clock and heap columns are machine-dependent while the structural
+// columns (links, simulated route latency/hops, lookup successes) are
+// seed-deterministic at any worker count.
+type Scale1mConfig struct {
+	Seed int64
+	// Topo is the (IP nodes, overlay peers) grid, built with frozen CSR +
+	// compact overlays.
+	Topo []Scale1mTopo
+	// RouteCacheK bounds the overlay route cache in every topo cell. It is
+	// set far below RouteSources so the sweep continuously evicts — the
+	// steady-state memory of the route plane is K tables regardless of how
+	// many sources probe.
+	RouteCacheK int
+	// RouteSources / RoutesPerSource size the route sweep per topo cell.
+	RouteSources, RoutesPerSource int
+	// DiscoveryPeers is the DHT population for the discovery cells.
+	DiscoveryPeers int
+	// Shards lists the keyspace shard counts swept by the discovery cells.
+	// Since the sorted-ring builder made construction O(n·log n), sharding
+	// is no longer how build work is kept feasible — the sweep keeps it to
+	// bound per-ring leaf/table state and to exercise cross-ring homing at
+	// scale.
+	Shards []int
+	// Functions / ProvidersPerFn / Lookups size the discovery workload.
+	Functions, ProvidersPerFn, Lookups int
+	// Trace is wired through the parallel runner for symmetry with the other
+	// figures; the sweep itself emits no protocol events.
+	Trace obs.Tracer
+	// Parallel is the worker count for the cells; <= 1 runs them serially.
+	Parallel int
+}
+
+// Scale1mTopo is one (IP nodes, overlay peers) grid point.
+type Scale1mTopo struct {
+	IPNodes, Peers int
+}
+
+// DefaultScale1mConfig is the headline sweep: up to 1,000,000 IP nodes and
+// 100,000 overlay peers — 100x the paper's §6.1 dimensions — plus a
+// 100,000-peer discovery plane at shard counts {16, 64}.
+func DefaultScale1mConfig() Scale1mConfig {
+	return Scale1mConfig{
+		Seed: 1,
+		Topo: []Scale1mTopo{
+			{IPNodes: 300000, Peers: 30000},
+			{IPNodes: 1000000, Peers: 100000},
+		},
+		RouteCacheK:     8,
+		RouteSources:    64,
+		RoutesPerSource: 4,
+		DiscoveryPeers:  100000,
+		Shards:          []int{16, 64},
+		Functions:       300,
+		ProvidersPerFn:  3,
+		Lookups:         300,
+	}
+}
+
+// Scale1mSliceConfig is the CI-sized cell of the same sweep: one topology
+// point and one discovery point, small enough for a test gate but large
+// enough that the route cache evicts (RouteSources > RouteCacheK) and the
+// discovery plane spans many rings. The scale1m gate in scripts/ci.sh runs
+// it through TestScale1mSlice* with a build-time ceiling and a live-heap
+// budget.
+func Scale1mSliceConfig() Scale1mConfig {
+	return Scale1mConfig{
+		Seed:            1,
+		Topo:            []Scale1mTopo{{IPNodes: 100000, Peers: 10000}},
+		RouteCacheK:     8,
+		RouteSources:    32,
+		RoutesPerSource: 4,
+		DiscoveryPeers:  10000,
+		Shards:          []int{16},
+		Functions:       120,
+		ProvidersPerFn:  3,
+		Lookups:         200,
+	}
+}
+
+// Scale1mTopoPoint is one topology cell's result.
+type Scale1mTopoPoint struct {
+	IPNodes, Peers int
+	Links          int
+	GenMS          float64 // wall-clock: power-law generation + CSR freeze
+	OverlayMS      float64 // wall-clock: compact overlay build
+	RouteMS        float64 // wall-clock: whole route sweep, evictions included
+	HeapMB         float64 // live-heap delta across graph + overlay build
+	RouteAvgMS     float64 // simulated ms, deterministic
+	RouteAvgHops   float64 // deterministic
+	RouteOK        int     // deterministic
+}
+
+// Scale1mDiscPoint is one discovery cell's result.
+type Scale1mDiscPoint struct {
+	Peers, Shards int
+	BuildMS       float64 // wall-clock: S sorted-ring builds, O(n·log n) total
+	HeapMB        float64 // live-heap delta across node creation + ring build
+	RegisterMS    float64 // wall-clock: puts + simulated delivery
+	LookupMS      float64 // wall-clock: gets + simulated delivery
+	LookupOK      int     // deterministic
+	AvgHops       float64 // deterministic
+}
+
+// Scale1mResult is the full sweep.
+type Scale1mResult struct {
+	Topo      []Scale1mTopoPoint
+	Discovery []Scale1mDiscPoint
+	TopoTable *metrics.Table
+	DiscTable *metrics.Table
+}
+
+// Scale1m runs the capacity sweep: topology grid points first, then the
+// sharded-discovery grid, all as independent cells under the parallel runner.
+func Scale1m(cfg Scale1mConfig) Scale1mResult {
+	nt := len(cfg.Topo)
+	topo := make([]Scale1mTopoPoint, nt)
+	disc := make([]Scale1mDiscPoint, len(cfg.Shards))
+	runCells(nt+len(cfg.Shards), cfg.Parallel, cfg.Trace, func(i int, _ obs.Tracer) {
+		if i < nt {
+			topo[i] = scale1mTopo(cfg, cfg.Topo[i])
+		} else {
+			disc[i-nt] = scale1mDiscovery(cfg, cfg.Shards[i-nt])
+		}
+	})
+
+	out := Scale1mResult{Topo: topo, Discovery: disc}
+	tt := metrics.NewTable(
+		fmt.Sprintf("Scale1m: topology grid (compact overlay, route cache K=%d)", cfg.RouteCacheK),
+		"ip nodes", "peers", "links", "gen ms", "overlay ms", "sweep ms", "heap MB", "route ms", "route hops", "routes ok")
+	for _, p := range topo {
+		tt.AddRow(p.IPNodes, p.Peers, p.Links, p.GenMS, p.OverlayMS, p.RouteMS, p.HeapMB, p.RouteAvgMS, p.RouteAvgHops, p.RouteOK)
+	}
+	out.TopoTable = tt
+	dt := metrics.NewTable(fmt.Sprintf("Scale1m: sharded discovery, %d DHT peers (sorted-ring build)", cfg.DiscoveryPeers),
+		"shards", "build ms", "heap MB", "register ms", "lookup ms", "lookups ok", "avg hops")
+	for _, p := range disc {
+		dt.AddRow(p.Shards, p.BuildMS, p.HeapMB, p.RegisterMS, p.LookupMS, p.LookupOK, p.AvgHops)
+	}
+	out.DiscTable = dt
+	return out
+}
+
+// heapDeltaMB returns the live-heap growth since before, clamped at zero:
+// when a sibling cell's garbage is collected between the two measurements the
+// delta can go negative, which would wrap the unsigned subtraction into a
+// figure that fails every budget.
+func heapDeltaMB(before uint64) float64 {
+	after := liveHeapBytes()
+	if after < before {
+		return 0
+	}
+	return float64(after-before) / (1 << 20)
+}
+
+// scale1mTopo builds one grid point and sweeps routes over it with the
+// bounded cache. RouteSources deliberately exceeds RouteCacheK, so the sweep
+// spends most of its time in the post-eviction regime: near destinations on
+// the truncated fast path, far ones paying a full Dijkstra into a recycled
+// LRU slot.
+func scale1mTopo(cfg Scale1mConfig, pt Scale1mTopo) Scale1mTopoPoint {
+	rng := newRng(cfg.Seed + int64(pt.IPNodes))
+	heapBefore := liveHeapBytes()
+
+	start := time.Now()
+	g := topology.GeneratePowerLaw(pt.IPNodes, 2, 2, 30, rng)
+	genMS := float64(time.Since(start).Microseconds()) / 1000
+
+	start = time.Now()
+	ov := topology.BuildOverlay(g, topology.OverlayConfig{
+		NumPeers: pt.Peers, Degree: 4, Compact: true,
+		RouteCacheSize: cfg.RouteCacheK,
+	}, rng)
+	overlayMS := float64(time.Since(start).Microseconds()) / 1000
+	heapMB := heapDeltaMB(heapBefore)
+
+	var lat, hops metrics.Sample
+	okCount := 0
+	start = time.Now()
+	for s := 0; s < cfg.RouteSources; s++ {
+		src := rng.Intn(pt.Peers)
+		for k := 0; k < cfg.RoutesPerSource; k++ {
+			dst := rng.Intn(pt.Peers)
+			if path, ok := ov.Route(src, dst); ok {
+				okCount++
+				lat.Add(path.Latency)
+				hops.Add(float64(len(path.Peers) - 1))
+			}
+		}
+	}
+	routeMS := float64(time.Since(start).Microseconds()) / 1000
+	return Scale1mTopoPoint{
+		IPNodes:      pt.IPNodes,
+		Peers:        pt.Peers,
+		Links:        ov.NumLinks(),
+		GenMS:        genMS,
+		OverlayMS:    overlayMS,
+		RouteMS:      routeMS,
+		HeapMB:       heapMB,
+		RouteAvgMS:   lat.Mean(),
+		RouteAvgHops: hops.Mean(),
+		RouteOK:      okCount,
+	}
+}
+
+// scale1mDiscovery is the discovery cell at 10^5 peers: the shard plan
+// partitions the population into independent rings, each built with the
+// sorted-ring constructor, then a registration + lookup workload runs with
+// key-hash homing exactly as in Scale100k. The success count and hop totals
+// must not depend on the shard count — only the build and messaging cost do.
+func scale1mDiscovery(cfg Scale1mConfig, shards int) Scale1mDiscPoint {
+	netRng := newRng(cfg.Seed + 9000)
+	pickRng := newRng(cfg.Seed + 9001)
+	n := cfg.DiscoveryPeers
+
+	heapBefore := liveHeapBytes()
+	sim := simnet.NewSim()
+	nw := simnet.NewNetwork(sim, simnet.ConstantLatency(5*time.Millisecond), netRng)
+	nodes := make([]*dht.Node, n)
+	for i := range nodes {
+		nodes[i] = dht.New(nw.AddNode(p2p.NodeID(i)), nw.Alive)
+	}
+	plan := registry.NewShardPlan(n, shards)
+
+	start := time.Now()
+	for s := 0; s < plan.NumShards; s++ {
+		ring := make([]*dht.Node, len(plan.Members[s]))
+		for j, id := range plan.Members[s] {
+			ring[j] = nodes[int(id)]
+		}
+		dht.Build(ring)
+	}
+	buildMS := float64(time.Since(start).Microseconds()) / 1000
+	heapMB := heapDeltaMB(heapBefore)
+
+	start = time.Now()
+	for f := 0; f < cfg.Functions; f++ {
+		key := registry.FunctionKey(fmt.Sprintf("fn%d", f))
+		home := plan.Home(key)
+		for p := 0; p < cfg.ProvidersPerFn; p++ {
+			src := pickRng.Intn(n)
+			item := fmt.Sprintf("p%d/fn%d", src, f)
+			if plan.ShardOfPeer(p2p.NodeID(src)) == home {
+				nodes[src].Put(key, item, 96)
+			} else {
+				nodes[src].PutVia(plan.Entries(key)[0], key, item, 96)
+			}
+		}
+	}
+	sim.RunUntilIdle()
+	registerMS := float64(time.Since(start).Microseconds()) / 1000
+
+	okCount := 0
+	var hops metrics.Sample
+	start = time.Now()
+	for l := 0; l < cfg.Lookups; l++ {
+		key := registry.FunctionKey(fmt.Sprintf("fn%d", pickRng.Intn(cfg.Functions)))
+		src := pickRng.Intn(n)
+		collect := func(items []any, h int, ok bool) {
+			if ok && len(items) > 0 {
+				okCount++
+				hops.Add(float64(h))
+			}
+		}
+		if plan.ShardOfPeer(p2p.NodeID(src)) == plan.Home(key) {
+			nodes[src].Get(key, time.Second, collect)
+		} else {
+			nodes[src].GetVia(plan.Entries(key), key, 0, time.Second, collect)
+		}
+	}
+	sim.RunUntilIdle()
+	lookupMS := float64(time.Since(start).Microseconds()) / 1000
+
+	return Scale1mDiscPoint{
+		Peers:      n,
+		Shards:     plan.NumShards,
+		BuildMS:    buildMS,
+		HeapMB:     heapMB,
+		RegisterMS: registerMS,
+		LookupMS:   lookupMS,
+		LookupOK:   okCount,
+		AvgHops:    hops.Mean(),
+	}
+}

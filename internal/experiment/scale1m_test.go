@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+// scale1mQuickConfig shrinks the sweep to unit-test size while keeping the
+// structural properties the full run relies on: a route cache that evicts
+// (sources > K), multiple shard counts, and cross-ring homing.
+func scale1mQuickConfig() Scale1mConfig {
+	cfg := DefaultScale1mConfig()
+	cfg.Topo = []Scale1mTopo{{IPNodes: 500, Peers: 80}}
+	cfg.RouteCacheK = 4
+	cfg.RouteSources = 16
+	cfg.RoutesPerSource = 2
+	cfg.DiscoveryPeers = 320
+	cfg.Shards = []int{1, 8}
+	cfg.Functions = 24
+	cfg.ProvidersPerFn = 2
+	cfg.Lookups = 60
+	return cfg
+}
+
+// structuralString renders everything a Scale1m result reports that is not
+// wall-clock or heap, for byte-exact comparison across runs and worker
+// counts.
+func structuralString(r Scale1mResult) string {
+	s := ""
+	for _, p := range r.Topo {
+		s += fmt.Sprintf("topo %d/%d links=%d lat=%.9f hops=%.9f ok=%d\n",
+			p.IPNodes, p.Peers, p.Links, p.RouteAvgMS, p.RouteAvgHops, p.RouteOK)
+	}
+	for _, p := range r.Discovery {
+		s += fmt.Sprintf("disc %d/%d ok=%d hops=%.9f\n", p.Peers, p.Shards, p.LookupOK, p.AvgHops)
+	}
+	return s
+}
+
+// TestScale1mStructuralColumnsDeterministic pins seed-determinism of the
+// structural columns across reruns and worker counts (the acceptance bar for
+// the full sweep, checked here at unit-test size).
+func TestScale1mStructuralColumnsDeterministic(t *testing.T) {
+	cfg := scale1mQuickConfig()
+	a := Scale1m(cfg)
+	cfg = scale1mQuickConfig()
+	cfg.Parallel = 8
+	b := Scale1m(cfg)
+	if structuralString(a) != structuralString(b) {
+		t.Fatalf("structural columns differ between 1 and 8 workers:\n%s\nvs\n%s",
+			structuralString(a), structuralString(b))
+	}
+	for _, p := range a.Discovery {
+		if p.LookupOK != cfg.Lookups {
+			t.Errorf("shards=%d resolved %d of %d lookups", p.Shards, p.LookupOK, cfg.Lookups)
+		}
+	}
+	for _, p := range a.Topo {
+		if p.Links == 0 || p.RouteOK == 0 {
+			t.Errorf("topo %d/%d: links=%d routesOK=%d", p.IPNodes, p.Peers, p.Links, p.RouteOK)
+		}
+	}
+}
+
+// TestScale1mSliceBudget is the CI capacity gate: the slice cell (100k IP
+// nodes / 10k peers topology, 10k-peer discovery plane) must finish under
+// generous wall-clock ceilings and a live-heap budget, with every lookup
+// resolving. A wall-clock blowout here means superlinear construction crept
+// back in (the precise 50× bound is TestBuildSpeedup's job); a heap blowout
+// means a dense structure returned — the per-peer latency matrix, eager
+// routing tables, or an unbounded route cache.
+func TestScale1mSliceBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity slice")
+	}
+	cfg := Scale1mSliceConfig()
+	res := Scale1m(cfg)
+
+	tp := res.Topo[0]
+	if tp.GenMS+tp.OverlayMS > 120_000 {
+		t.Errorf("topology build took %.0f ms, ceiling 120000", tp.GenMS+tp.OverlayMS)
+	}
+	if tp.HeapMB > 64 {
+		t.Errorf("topology cell live heap %.1f MB, budget 64", tp.HeapMB)
+	}
+	if tp.RouteOK == 0 {
+		t.Error("route sweep resolved no routes")
+	}
+
+	dp := res.Discovery[0]
+	if dp.BuildMS > 60_000 {
+		t.Errorf("ring build took %.0f ms, ceiling 60000", dp.BuildMS)
+	}
+	if dp.HeapMB > 192 {
+		t.Errorf("discovery cell live heap %.1f MB, budget 192", dp.HeapMB)
+	}
+	if dp.LookupOK != cfg.Lookups {
+		t.Errorf("resolved %d of %d lookups", dp.LookupOK, cfg.Lookups)
+	}
+}
+
+// TestScale1mSliceDeterministic reruns the slice and requires byte-identical
+// structural columns — the rerun half of the CI gate.
+func TestScale1mSliceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity slice")
+	}
+	a := Scale1m(Scale1mSliceConfig())
+	cfg := Scale1mSliceConfig()
+	cfg.Parallel = 8
+	b := Scale1m(cfg)
+	if structuralString(a) != structuralString(b) {
+		t.Fatalf("slice not deterministic across reruns/worker counts:\n%s\nvs\n%s",
+			structuralString(a), structuralString(b))
+	}
+}

@@ -11,9 +11,10 @@ import (
 // DHT rings and homes every discovery key on exactly one of them. It
 // generalizes the federation per-domain keyspace shards to deployments with
 // no administrative boundaries: each ring carries O(peers/S) membership
-// state and O(services/S) stored meta-data, and — because the static ring
-// build is quadratic in ring size — construction cost drops by S× as well,
-// which is what makes a 10,000-peer discovery substrate buildable.
+// state and O(services/S) stored meta-data. (The static ring build is now
+// O(n·log n) — dht.Build's sorted-ring construction — so sharding no longer
+// carries the build-time savings it was introduced for; it remains the knob
+// that bounds per-ring state and localizes maintenance traffic.)
 //
 // Homing is by key hash, not by registering peer: all duplicates of a
 // function land in the same ring (on the same root) no matter who registers

@@ -36,30 +36,88 @@ type Stats struct {
 
 // Network is the simulated message-passing layer connecting simNodes. All
 // operation happens on the owning Sim's event loop.
+//
+// The node table is split into a dense slice (indexed directly by NodeID, the
+// common case: experiments assign small sequential IDs) and a sparse map
+// fallback for outliers, so lookups on the send/deliver hot path cost an
+// array index instead of a map probe, and a million registered peers cost one
+// flat pointer slice.
 type Network struct {
 	sim     *Sim
 	rng     *rand.Rand
 	latency LatencyFunc
-	nodes   map[p2p.NodeID]*simNode
+	dense   []*simNode              // nodes with IDs in [0, len); nil = unregistered
+	sparse  map[p2p.NodeID]*simNode // negative or far-out-of-range IDs
+	count   int
 	stats   Stats
 	trace   obs.Tracer
 	obsReg  *obs.Registry
 	met     *obs.Metrics
 	faults  *faultState   // nil unless SetFaults installed a plan
 	proc    ProcDelayFunc // nil unless SetProcDelay installed a load model
+
+	// Delivery records are pooled and dispatched through one long-lived
+	// ScheduleCall function, so a message in flight costs no allocation
+	// beyond its (recycled) record — the difference between an idle large
+	// network and a garbage-collector workout.
+	delPool []*delivery
+	delFn   func(any)
 }
+
+// delivery is the pooled in-flight message record: the payload of one
+// scheduled deliver call.
+type delivery struct {
+	msg   p2p.Message
+	epoch uint64
+	known bool
+}
+
+// denseSlack bounds how far past the current dense-table end an ID may land
+// while still growing the slice instead of falling back to the sparse map,
+// so scattered-but-small ID spaces (shard bases, cluster offsets) stay on
+// the fast path without a pathological ID exploding memory.
+const denseSlack = 1024
 
 // NewNetwork creates a network whose message delays come from latency and
 // whose randomness comes from rng (shared by all nodes; determinism follows
 // from the single-threaded event loop).
 func NewNetwork(sim *Sim, latency LatencyFunc, rng *rand.Rand) *Network {
-	return &Network{
+	nw := &Network{
 		sim:     sim,
 		rng:     rng,
 		latency: latency,
-		nodes:   make(map[p2p.NodeID]*simNode),
 		stats:   Stats{ByType: make(map[string]int64)},
 	}
+	nw.delFn = func(arg any) {
+		rec := arg.(*delivery)
+		msg, epoch, known := rec.msg, rec.epoch, rec.known
+		rec.msg = p2p.Message{} // drop payload references before pooling
+		nw.delPool = append(nw.delPool, rec)
+		nw.deliver(msg, epoch, known)
+	}
+	return nw
+}
+
+// node looks up a registered node, nil if unknown.
+func (nw *Network) node(id p2p.NodeID) *simNode {
+	if id >= 0 && int(id) < len(nw.dense) {
+		return nw.dense[id]
+	}
+	return nw.sparse[id]
+}
+
+// scheduleDelivery queues msg for delivery after d using a pooled record.
+func (nw *Network) scheduleDelivery(d time.Duration, msg p2p.Message, epoch uint64, known bool) {
+	var rec *delivery
+	if n := len(nw.delPool); n > 0 {
+		rec = nw.delPool[n-1]
+		nw.delPool[n-1] = nil
+		nw.delPool = nw.delPool[:n-1]
+	} else {
+		rec = &delivery{}
+	}
+	rec.msg, rec.epoch, rec.known = msg, epoch, known
+	nw.sim.ScheduleCall(d, nw.delFn, rec)
 }
 
 // ConstantLatency returns a LatencyFunc with a fixed one-way delay,
@@ -79,8 +137,16 @@ func (nw *Network) SetObs(trace obs.Tracer, reg *obs.Registry, met *obs.Metrics)
 	nw.trace = trace
 	nw.obsReg = reg
 	nw.met = met
-	for id, n := range nw.nodes {
-		if reg != nil && n.ctr == nil {
+	if reg == nil {
+		return
+	}
+	for _, n := range nw.dense {
+		if n != nil && n.ctr == nil {
+			n.ctr = reg.Node(n.id)
+		}
+	}
+	for id, n := range nw.sparse {
+		if n.ctr == nil {
 			n.ctr = reg.Node(id)
 		}
 	}
@@ -110,34 +176,48 @@ func (nw *Network) ResetStats() {
 
 // AddNode creates and registers a live node with the given ID.
 func (nw *Network) AddNode(id p2p.NodeID) p2p.Node {
-	if _, dup := nw.nodes[id]; dup {
+	if nw.node(id) != nil {
 		panic(fmt.Sprintf("simnet: duplicate node %d", id))
 	}
-	n := &simNode{id: id, net: nw, alive: true, handlers: make(map[string]p2p.Handler)}
+	n := &simNode{id: id, net: nw, alive: true}
 	if nw.obsReg != nil {
 		n.ctr = nw.obsReg.Node(id)
 	}
-	nw.nodes[id] = n
+	switch {
+	case id >= 0 && int(id) < len(nw.dense):
+		nw.dense[id] = n
+	case id >= 0 && int(id) < len(nw.dense)+denseSlack:
+		grown := make([]*simNode, int(id)+1)
+		copy(grown, nw.dense)
+		nw.dense = grown
+		nw.dense[id] = n
+	default:
+		if nw.sparse == nil {
+			nw.sparse = make(map[p2p.NodeID]*simNode)
+		}
+		nw.sparse[id] = n
+	}
+	nw.count++
 	return n
 }
 
 // Node returns the node with the given ID, or nil.
 func (nw *Network) Node(id p2p.NodeID) p2p.Node {
-	n, ok := nw.nodes[id]
-	if !ok {
+	n := nw.node(id)
+	if n == nil {
 		return nil
 	}
 	return n
 }
 
 // NumNodes returns the number of registered nodes (alive or failed).
-func (nw *Network) NumNodes() int { return len(nw.nodes) }
+func (nw *Network) NumNodes() int { return nw.count }
 
 // Fail marks a node as crashed: in-flight and future messages to it are
 // dropped and its pending timers never fire. Handlers stay registered so the
 // node can be recovered later.
 func (nw *Network) Fail(id p2p.NodeID) {
-	if n, ok := nw.nodes[id]; ok && n.alive {
+	if n := nw.node(id); n != nil && n.alive {
 		n.alive = false
 		n.epoch++
 		if nw.trace != nil {
@@ -150,7 +230,7 @@ func (nw *Network) Fail(id p2p.NodeID) {
 // whatever the protocol structs still hold; SpiderNet assumes stateless or
 // soft-state components (§5), so this matches the paper's model.
 func (nw *Network) Recover(id p2p.NodeID) {
-	if n, ok := nw.nodes[id]; ok && !n.alive {
+	if n := nw.node(id); n != nil && !n.alive {
 		n.alive = true
 		if nw.trace != nil {
 			nw.trace.Emit(obs.NodeUp(nw.sim.Now(), id))
@@ -160,8 +240,8 @@ func (nw *Network) Recover(id p2p.NodeID) {
 
 // Alive reports whether the node exists and is up.
 func (nw *Network) Alive(id p2p.NodeID) bool {
-	n, ok := nw.nodes[id]
-	return ok && n.alive
+	n := nw.node(id)
+	return n != nil && n.alive
 }
 
 func (nw *Network) send(msg p2p.Message) {
@@ -175,7 +255,7 @@ func (nw *Network) send(msg p2p.Message) {
 	// destination crashes must not surface after a later Recover (Fail
 	// promises in-flight messages are dropped).
 	epoch, known := uint64(0), false
-	if dst, ok := nw.nodes[msg.To]; ok {
+	if dst := nw.node(msg.To); dst != nil {
 		epoch, known = dst.epoch, true
 	}
 	d := nw.latency(msg.From, msg.To)
@@ -215,15 +295,15 @@ func (nw *Network) send(msg p2p.Message) {
 			}
 			nw.stats.Duplicated++
 			nw.fault(msg, obs.FaultDup)
-			nw.sim.Schedule(dd, func() { nw.deliver(msg, epoch, known) })
+			nw.scheduleDelivery(dd, msg, epoch, known)
 		}
 	}
-	nw.sim.Schedule(d, func() { nw.deliver(msg, epoch, known) })
+	nw.scheduleDelivery(d, msg, epoch, known)
 }
 
 // fault records one injected fault against msg's sender and the trace.
 func (nw *Network) fault(msg p2p.Message, kind string) {
-	if src, ok := nw.nodes[msg.From]; ok && src.ctr != nil {
+	if src := nw.node(msg.From); src != nil && src.ctr != nil {
 		src.ctr.Faults.Add(1)
 	}
 	if nw.trace != nil {
@@ -232,10 +312,10 @@ func (nw *Network) fault(msg p2p.Message, kind string) {
 }
 
 func (nw *Network) deliver(msg p2p.Message, epoch uint64, known bool) {
-	dst, ok := nw.nodes[msg.To]
-	if !ok || !dst.alive || (known && dst.epoch != epoch) {
+	dst := nw.node(msg.To)
+	if dst == nil || !dst.alive || (known && dst.epoch != epoch) {
 		nw.stats.Dropped++
-		if src, live := nw.nodes[msg.From]; live && src.ctr != nil {
+		if src := nw.node(msg.From); src != nil && src.ctr != nil {
 			src.ctr.MsgsDrop.Add(1)
 		}
 		if nw.trace != nil {
@@ -243,8 +323,8 @@ func (nw *Network) deliver(msg p2p.Message, epoch uint64, known bool) {
 		}
 		return
 	}
-	h, ok := dst.handlers[msg.Type]
-	if !ok {
+	h := dst.handler(msg.Type)
+	if h == nil {
 		nw.stats.Unhandled++
 		return
 	}
@@ -255,14 +335,33 @@ func (nw *Network) deliver(msg p2p.Message, epoch uint64, known bool) {
 	h(dst, msg)
 }
 
-// simNode implements p2p.Node on the event loop.
+// simNode implements p2p.Node on the event loop. Handlers live in a small
+// slice scanned linearly: protocols register a handful of message types, so
+// the scan beats a per-node map in both space (a map with a few entries costs
+// several hundred bytes before its buckets) and lookup time, and an idle node
+// carries no map header at all.
 type simNode struct {
 	id       p2p.NodeID
 	net      *Network
 	alive    bool
 	epoch    uint64 // bumped on failure; stale timers check it
-	handlers map[string]p2p.Handler
+	handlers []handlerReg
 	ctr      *obs.NodeCounters // nil unless a Registry is attached
+}
+
+type handlerReg struct {
+	typ string
+	h   p2p.Handler
+}
+
+// handler returns the registered handler for msgType, nil if none.
+func (n *simNode) handler(msgType string) p2p.Handler {
+	for i := range n.handlers {
+		if n.handlers[i].typ == msgType {
+			return n.handlers[i].h
+		}
+	}
+	return nil
 }
 
 func (n *simNode) ID() p2p.NodeID     { return n.id }
@@ -270,7 +369,15 @@ func (n *simNode) Now() time.Duration { return n.net.sim.Now() }
 func (n *simNode) Rand() *rand.Rand   { return n.net.rng }
 func (n *simNode) Alive() bool        { return n.alive }
 
-func (n *simNode) Handle(msgType string, h p2p.Handler) { n.handlers[msgType] = h }
+func (n *simNode) Handle(msgType string, h p2p.Handler) {
+	for i := range n.handlers {
+		if n.handlers[i].typ == msgType {
+			n.handlers[i].h = h
+			return
+		}
+	}
+	n.handlers = append(n.handlers, handlerReg{typ: msgType, h: h})
+}
 
 func (n *simNode) Send(msg p2p.Message) {
 	if !n.alive {

@@ -18,7 +18,7 @@ import (
 // tombstones accumulate across a long soak) and Pending is the heap length.
 // Fired and cancelled events return to a freelist and are reused by later
 // Schedule calls, so the steady-state Schedule→fire path allocates only the
-// returned cancel closure.
+// returned cancel closure — and the ScheduleCall path not even that.
 type Sim struct {
 	now    time.Duration
 	events eventHeap
@@ -30,8 +30,14 @@ type event struct {
 	at  time.Duration
 	seq uint64 // FIFO tie-break for simultaneous events
 	fn  func()
-	idx int    // heap slot; -1 once fired or cancelled
-	gen uint64 // incremented on recycle so stale cancel closures are no-ops
+	// call/arg is the allocation-free alternative to fn used by
+	// ScheduleCall: a long-lived function value applied to a per-event
+	// argument, so the hot send→deliver path creates no closure. Exactly
+	// one of fn and call is set.
+	call func(any)
+	arg  any
+	idx  int    // heap slot; -1 once fired or cancelled
+	gen  uint64 // incremented on recycle so stale cancel closures are no-ops
 }
 
 // NewSim returns a simulator with the clock at zero and no pending events.
@@ -48,6 +54,27 @@ func (s *Sim) Pending() int { return len(s.events) }
 // clamped to zero. The returned function cancels the event if it has not yet
 // fired; calling it after the event fired (or twice) is a no-op.
 func (s *Sim) Schedule(d time.Duration, fn func()) func() {
+	e := s.enqueue(d)
+	e.fn = fn
+	gen := e.gen
+	return func() { s.cancel(e, gen) }
+}
+
+// ScheduleCall runs call(arg) after delay d of virtual time. It is the
+// non-cancellable, allocation-free flavor of Schedule for high-volume event
+// sources (message delivery): the caller supplies one long-lived call
+// function and a per-event argument, so no closure and no cancel func are
+// allocated. Ordering is shared with Schedule — one clock, one sequence
+// counter, one heap.
+func (s *Sim) ScheduleCall(d time.Duration, call func(any), arg any) {
+	e := s.enqueue(d)
+	e.call = call
+	e.arg = arg
+}
+
+// enqueue takes an event off the freelist (or allocates one), stamps it, and
+// pushes it on the heap. The caller fills in the payload.
+func (s *Sim) enqueue(d time.Duration) *event {
 	if d < 0 {
 		d = 0
 	}
@@ -61,11 +88,9 @@ func (s *Sim) Schedule(d time.Duration, fn func()) func() {
 	}
 	e.at = s.now + d
 	e.seq = s.seq
-	e.fn = fn
 	s.seq++
 	heap.Push(&s.events, e)
-	gen := e.gen
-	return func() { s.cancel(e, gen) }
+	return e
 }
 
 // cancel removes e from the queue if it is still the incarnation the cancel
@@ -82,6 +107,8 @@ func (s *Sim) cancel(e *event, gen uint64) {
 // recycle retires a fired or cancelled event onto the freelist.
 func (s *Sim) recycle(e *event) {
 	e.fn = nil
+	e.call = nil
+	e.arg = nil
 	e.idx = -1
 	e.gen++
 	s.free = append(s.free, e)
@@ -95,9 +122,13 @@ func (s *Sim) Step() bool {
 	}
 	e := heap.Pop(&s.events).(*event)
 	s.now = e.at
-	fn := e.fn
+	fn, call, arg := e.fn, e.call, e.arg
 	s.recycle(e)
-	fn()
+	if fn != nil {
+		fn()
+	} else {
+		call(arg)
+	}
 	return true
 }
 
@@ -110,9 +141,13 @@ func (s *Sim) Run(until time.Duration) {
 		}
 		e := heap.Pop(&s.events).(*event)
 		s.now = e.at
-		fn := e.fn
+		fn, call, arg := e.fn, e.call, e.arg
 		s.recycle(e)
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			call(arg)
+		}
 	}
 	if s.now < until {
 		s.now = until

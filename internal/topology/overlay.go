@@ -67,7 +67,16 @@ type Overlay struct {
 
 	capMin, capMax float64 // link capacity range, for peers added later
 
-	routeCache map[int]routeTable
+	// Bounded per-source route cache: an LRU of at most routeCap full
+	// Dijkstra tables (routeCap < 0 = unbounded), so steady-state memory is
+	// O(routeCap·peers) no matter how many sources probe. Once the cache is
+	// full, near destinations are answered by a truncated search over the
+	// trunc scratch state instead of evicting a table — see Route.
+	routeCap   int
+	routeCache map[int]*routeSlot
+	lruHead    *routeSlot // most recently used
+	lruTail    *routeSlot // next eviction victim
+	trunc      *truncRouteState
 
 	// Frozen link CSR: peer p's incident links occupy [loff[p], loff[p+1])
 	// in lto (the far endpoint), llink (the link index), and llat (the link
@@ -85,6 +94,33 @@ type routeTable struct {
 	prevLink []int
 }
 
+// routeSlot is one LRU entry: a full per-source routing table threaded on the
+// recency list.
+type routeSlot struct {
+	src        int
+	rt         routeTable
+	prev, next *routeSlot // prev = more recent
+}
+
+// truncRouteState is the reusable scratch for the truncated-Dijkstra fast
+// path: epoch-stamped arrays make per-call initialization O(touched) instead
+// of O(peers), and the priority queue's backing array is recycled.
+type truncRouteState struct {
+	dist     []float64
+	prevPeer []int32
+	prevLink []int32
+	stamp    []uint32
+	epoch    uint32
+	pq       distPQ
+}
+
+// DefaultRouteCacheSize is the route-cache bound applied when
+// OverlayConfig.RouteCacheSize is zero. It exceeds the source count of every
+// workload the figure pipeline runs, so bounding the cache changes neither
+// behavior (routes are cache-independent by construction) nor performance on
+// existing experiments; only deliberately huge sweeps engage eviction.
+const DefaultRouteCacheSize = 512
+
 // OverlayConfig controls BuildOverlay.
 type OverlayConfig struct {
 	NumPeers int
@@ -99,6 +135,12 @@ type OverlayConfig struct {
 	// 10,000-peer overlay in a laptop-class memory budget; it supports
 	// Kind == Mesh only and does not support AddPeer.
 	Compact bool
+	// RouteCacheSize bounds how many per-source routing tables Route may
+	// retain (LRU eviction beyond it). Zero applies DefaultRouteCacheSize;
+	// negative disables the bound. Routes themselves are independent of the
+	// cache state, so any bound produces byte-identical results — only
+	// memory and recomputation change.
+	RouteCacheSize int
 }
 
 // BuildOverlay selects cfg.NumPeers distinct IP nodes from g as peers,
@@ -114,6 +156,10 @@ func BuildOverlay(g *Graph, cfg OverlayConfig, rng *rand.Rand) *Overlay {
 	if cfg.CapMax <= 0 {
 		cfg.CapMin, cfg.CapMax = 1000, 10000
 	}
+	routeCap := cfg.RouteCacheSize
+	if routeCap == 0 {
+		routeCap = DefaultRouteCacheSize
+	}
 	n := cfg.NumPeers
 	o := &Overlay{
 		peerIP:     rng.Perm(g.N())[:n],
@@ -121,7 +167,8 @@ func BuildOverlay(g *Graph, cfg OverlayConfig, rng *rand.Rand) *Overlay {
 		linkSet:    make(map[uint64]struct{}),
 		capMin:     cfg.CapMin,
 		capMax:     cfg.CapMax,
-		routeCache: make(map[int]routeTable),
+		routeCap:   routeCap,
+		routeCache: make(map[int]*routeSlot),
 	}
 	if cfg.Compact {
 		if cfg.Kind != Mesh {
@@ -306,9 +353,63 @@ func (o *Overlay) AddPeer(g *Graph, ip, degree int, rng *rand.Rand) int {
 		o.adj[n] = append(o.adj[n], idx)
 		o.adj[v] = append(o.adj[v], idx)
 	}
-	o.routeCache = make(map[int]routeTable)
+	o.cacheReset()
 	o.loff, o.lto, o.llink, o.llat = nil, nil, nil, nil
 	return n
+}
+
+// cacheReset drops every cached routing table and the truncated-search
+// scratch (its arrays are sized to the peer count, which may have changed).
+func (o *Overlay) cacheReset() {
+	o.routeCache = make(map[int]*routeSlot)
+	o.lruHead, o.lruTail = nil, nil
+	o.trunc = nil
+}
+
+// cacheGet returns src's cached table and marks it most recently used.
+func (o *Overlay) cacheGet(src int) (routeTable, bool) {
+	s, ok := o.routeCache[src]
+	if !ok {
+		return routeTable{}, false
+	}
+	if s != o.lruHead {
+		// Unlink, then splice in at the head.
+		s.prev.next = s.next
+		if s.next != nil {
+			s.next.prev = s.prev
+		} else {
+			o.lruTail = s.prev
+		}
+		s.prev = nil
+		s.next = o.lruHead
+		o.lruHead.prev = s
+		o.lruHead = s
+	}
+	return s.rt, true
+}
+
+// cacheAdd inserts src's table at the head of the recency list, evicting the
+// least recently used table when the bound is exceeded. Eviction follows only
+// the (deterministic) access sequence, so same-seed runs evict identically.
+func (o *Overlay) cacheAdd(src int, rt routeTable) {
+	s := &routeSlot{src: src, rt: rt, next: o.lruHead}
+	if o.lruHead != nil {
+		o.lruHead.prev = s
+	} else {
+		o.lruTail = s
+	}
+	o.lruHead = s
+	o.routeCache[src] = s
+	if o.routeCap >= 0 && len(o.routeCache) > o.routeCap {
+		victim := o.lruTail
+		o.lruTail = victim.prev
+		if o.lruTail != nil {
+			o.lruTail.next = nil
+		} else {
+			o.lruHead = nil
+		}
+		delete(o.routeCache, victim.src)
+	}
 }
 
 // freezeLinks packs the per-peer link lists into the frozen CSR arrays.
@@ -339,23 +440,40 @@ func (o *Overlay) freezeLinks() {
 }
 
 // Route returns the shortest-latency overlay path from a to b, or ok=false
-// if none exists. Routes are cached per source; the cache is invalidated
-// only by AddPeer, since links otherwise never change.
+// if none exists. Per-source tables are cached in an LRU bounded by
+// OverlayConfig.RouteCacheSize and invalidated only by AddPeer, since links
+// otherwise never change. Once the cache is full, a near destination (one
+// that settles within a small ball around the source) is answered by a
+// truncated search without touching the cache; only far destinations pay a
+// full Dijkstra and recycle an LRU slot. Because Dijkstra's relaxation order
+// is deterministic and settled entries never change, every code path returns
+// the identical Path — the cache bound affects memory and recomputation, not
+// results, so same-seed traces stay byte-identical at any bound.
 func (o *Overlay) Route(a, b int) (Path, bool) {
 	if a == b {
 		return Path{Peers: []int{a}, Latency: 0}, true
 	}
-	rt, ok := o.routeCache[a]
-	if !ok {
-		rt = o.dijkstra(a)
-		o.routeCache[a] = rt
+	if rt, ok := o.cacheGet(a); ok {
+		return o.pathFrom(rt, a, b)
 	}
+	if o.routeCap >= 0 && len(o.routeCache) >= o.routeCap {
+		if p, ok, hit := o.routeNear(a, b); hit {
+			return p, ok
+		}
+	}
+	rt := o.dijkstra(a)
+	o.cacheAdd(a, rt)
+	return o.pathFrom(rt, a, b)
+}
+
+// pathFrom materializes the a→b path from a per-source table. Walk the
+// predecessor chain once to size the path exactly, then fill backward: two
+// right-sized allocations instead of append-grow + reverse. Route is the
+// hottest call in probe forwarding, so this matters.
+func (o *Overlay) pathFrom(rt routeTable, a, b int) (Path, bool) {
 	if math.IsInf(rt.dist[b], 1) {
 		return Path{}, false
 	}
-	// Walk the predecessor chain once to size the path exactly, then fill
-	// backward: two right-sized allocations instead of append-grow + reverse.
-	// Route is the hottest call in probe forwarding, so this matters.
 	hops := 0
 	for at := b; at != a; at = rt.prevPeer[at] {
 		hops++
@@ -370,6 +488,94 @@ func (o *Overlay) Route(a, b int) (Path, bool) {
 	}
 	peers[0] = a
 	return Path{Peers: peers, Links: links, Latency: rt.dist[b]}, true
+}
+
+// routeNear runs Dijkstra from a but stops as soon as b settles, giving up
+// once the settled ball exceeds ~n/8 peers. hit reports whether the search
+// reached a verdict: b settled (the path is exact — a settled node's
+// distance and predecessor are final, and the relaxation order up to that
+// point is identical to the full run's), or a's entire component settled
+// without finding b (no route exists). hit=false means b lies outside the
+// ball and the caller must fall back to a full Dijkstra. Nothing is cached;
+// the epoch-stamped scratch keeps per-call cost O(ball), not O(peers).
+func (o *Overlay) routeNear(a, b int) (Path, bool, bool) {
+	if o.loff == nil {
+		o.freezeLinks()
+	}
+	n := o.N()
+	ts := o.trunc
+	if ts == nil || len(ts.dist) < n {
+		ts = &truncRouteState{
+			dist:     make([]float64, n),
+			prevPeer: make([]int32, n),
+			prevLink: make([]int32, n),
+			stamp:    make([]uint32, n),
+		}
+		o.trunc = ts
+	}
+	ts.epoch++
+	if ts.epoch == 0 { // wrapped: stale stamps could alias, clear them
+		for i := range ts.stamp {
+			ts.stamp[i] = 0
+		}
+		ts.epoch = 1
+	}
+	touch := func(v int32) {
+		if ts.stamp[v] != ts.epoch {
+			ts.stamp[v] = ts.epoch
+			ts.dist[v] = math.Inf(1)
+			ts.prevPeer[v] = -1
+			ts.prevLink[v] = -1
+		}
+	}
+	limit := n / 8
+	if limit < 32 {
+		limit = 32
+	}
+	ts.pq.reset()
+	touch(int32(a))
+	ts.dist[a] = 0
+	ts.pq.push(distItem{node: a, dist: 0})
+	settled := 0
+	for ts.pq.len() > 0 {
+		it := ts.pq.pop()
+		if it.dist > ts.dist[it.node] {
+			continue
+		}
+		if it.node == b {
+			hops := 0
+			for at := b; at != a; at = int(ts.prevPeer[at]) {
+				hops++
+			}
+			peers := make([]int, hops+1)
+			links := make([]int, hops)
+			i := hops
+			for at := b; at != a; at = int(ts.prevPeer[at]) {
+				peers[i] = at
+				links[i-1] = int(ts.prevLink[at])
+				i--
+			}
+			peers[0] = a
+			return Path{Peers: peers, Links: links, Latency: ts.dist[b]}, true, true
+		}
+		settled++
+		if settled >= limit {
+			return Path{}, false, false
+		}
+		for i, end := o.loff[it.node], o.loff[it.node+1]; i < end; i++ {
+			to := o.lto[i]
+			touch(to)
+			if nd := it.dist + o.llat[i]; nd < ts.dist[to] {
+				ts.dist[to] = nd
+				ts.prevPeer[to] = int32(it.node)
+				ts.prevLink[to] = o.llink[i]
+				ts.pq.push(distItem{node: int(to), dist: nd})
+			}
+		}
+	}
+	// The queue drained before the limit: a's entire component is settled
+	// and b is not in it.
+	return Path{}, false, true
 }
 
 func (o *Overlay) dijkstra(src int) routeTable {

@@ -38,6 +38,16 @@ go test -cover ./... | awk '
 echo "== memory budget gate (100k nodes / 10k peers)"
 go test -run TestMemoryBudget100k -count=1 ./internal/topology/
 
+# Scale1m-slice gate: one CI-sized cell of the million-node capacity sweep
+# (100k-IP-node/10k-peer topology with an 8-entry route cache, plus a
+# 10k-peer sorted-ring discovery plane). TestScale1mSliceBudget enforces
+# wall-clock ceilings, a live-heap budget, and all-lookups-resolve;
+# TestScale1mSliceDeterministic requires byte-identical structural columns
+# across a rerun and across worker counts. A failure means superlinear
+# construction or a dense structure crept back into the scale path.
+echo "== scale1m slice gate (build ceilings + heap budget + rerun determinism)"
+go test -run 'TestScale1mSlice' -count=1 ./internal/experiment/
+
 # Trace gate: the same seed must produce byte-identical JSONL traces, the
 # traces must satisfy the protocol invariants (spidersim -check), and the
 # gzip trace path must round-trip to the same events.
