@@ -9,6 +9,7 @@
 //	spiderbench -fig 10           # wide-area setup time (live runtime)
 //	spiderbench -fig 11           # delay vs probing budget
 //	spiderbench -fig scale        # offered-load sweep, load-blind vs load-aware
+//	spiderbench -fig stress       # adversarial workloads x composition algorithms
 //	spiderbench -fig overhead     # BCP vs centralized overhead
 //	spiderbench -fig federate     # cross-domain 2PC sweep, domains x gateways x faults
 //	spiderbench -fig scale100k    # 100k-node/10k-peer capacity sweep (not part of "all")
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 10, 11, scale, overhead, federate, scale100k, scale1m, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 10, 11, scale, stress, overhead, federate, scale100k, scale1m, all")
 	paper := flag.Bool("paper", false, "use the paper's full dimensions (slow)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
@@ -229,6 +230,18 @@ func main() {
 			writeCSV("scale", res.Table)
 		})
 	}
+	if want("stress") {
+		ran = true
+		run("Stress (adversarial workload sweep)", func() {
+			cfg := experiment.DefaultStressConfig()
+			cfg.Seed = *seed
+			cfg.Trace = trace
+			cfg.Parallel = *parallel
+			res := experiment.Stress(cfg)
+			res.Table.Render(os.Stdout)
+			writeCSV("stress", res.Table)
+		})
+	}
 	if want("overhead") {
 		ran = true
 		run("Overhead comparison", func() {
@@ -296,7 +309,7 @@ func main() {
 		})
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown figure %q; want 8, 9, 10, 11, scale, overhead, federate, scale100k, scale1m, or all\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q; want 8, 9, 10, 11, scale, stress, overhead, federate, scale100k, scale1m, or all\n", *fig)
 		os.Exit(2)
 	}
 	if tf != nil {

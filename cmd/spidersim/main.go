@@ -31,6 +31,7 @@ import (
 	"repro/internal/p2p"
 	"repro/internal/qos"
 	"repro/internal/recovery"
+	"repro/internal/service"
 	"repro/internal/simnet"
 	"repro/internal/spec"
 	"repro/internal/workload"
@@ -54,6 +55,7 @@ func run() error {
 		minFuncs  = flag.Int("minfuncs", 2, "min functions per request")
 		maxFuncs  = flag.Int("maxfuncs", 4, "max functions per request")
 		churn     = flag.Float64("churn", 0, "fraction of peers failing per minute")
+		scenario  = flag.String("scenario", "", "stress scenario layered on the workload, e.g. zipf=1.2,diurnal=60s@0.5,flash=fn3:10@30s+20s,churn=0.02@30s+20s")
 		duration  = flag.Duration("duration", 5*time.Minute, "simulated duration")
 		dagProb   = flag.Float64("dag", 0.2, "probability of DAG-shaped requests")
 		commute   = flag.Float64("commute", 0.2, "probability of commutation links")
@@ -87,6 +89,15 @@ func run() error {
 	if *faults != "" {
 		var err error
 		fspec, err = simnet.ParseFaultSpec(*faults)
+		if err != nil {
+			return err
+		}
+	}
+
+	var scn *workload.Scenario
+	if *scenario != "" {
+		var err error
+		scn, err = workload.ParseScenario(*scenario)
 		if err != nil {
 			return err
 		}
@@ -190,14 +201,30 @@ func run() error {
 		CommuteProb: *commute,
 		DelayReqMin: 500,
 		DelayReqMax: 2000,
+		Scenario:    scn,
 	}, c.Rng)
 
 	var ok metrics.Ratio
 	var setup, discovery, commitLat metrics.Sample
 	attempted, completed, xdomain := 0, 0, 0
 	for i := 0; i < *requests; i++ {
-		req := gen.Next()
-		at := time.Duration(float64(*duration) * c.Rng.Float64() * 0.8)
+		var req *service.Request
+		var at time.Duration
+		if scn == nil {
+			// Draw order (request, then arrival) is load-bearing: it keeps
+			// non-scenario runs byte-identical to earlier releases.
+			req = gen.Next()
+			at = time.Duration(float64(*duration) * c.Rng.Float64() * 0.8)
+		} else {
+			// Thin arrivals against the scenario's rate curve: a uniform
+			// candidate instant survives with probability RateMult/peak, so
+			// the accepted arrival density follows the diurnal/flash shape.
+			at = time.Duration(float64(*duration) * c.Rng.Float64() * 0.8)
+			if c.Rng.Float64()*scn.MaxRateMult(catalog(*functions)) > scn.RateMult(at, catalog(*functions)) {
+				continue
+			}
+			req = gen.NextAt(at)
+		}
 		c.Sim.Schedule(at-c.Sim.Now(), func() {
 			if at < c.Sim.Now() {
 				return
@@ -242,6 +269,19 @@ func run() error {
 			})
 		}
 	}
+	if scn != nil && scn.ChurnRate > 0 {
+		// Churn storm: the scenario's rate applies per minute tick inside the
+		// window, firing at least once even for sub-minute windows; victims
+		// return two minutes later, like -churn's.
+		for at := scn.ChurnAt; at < scn.ChurnAt+scn.ChurnDur && at < *duration; at += time.Minute {
+			c.Sim.Schedule(at-c.Sim.Now(), func() {
+				for _, id := range c.FailFraction(scn.ChurnRate) {
+					id := id
+					c.Sim.Schedule(2*time.Minute, func() { c.Net.Recover(id) })
+				}
+			})
+		}
+	}
 	end := *duration
 	if dspec != nil {
 		// Drain until every federated lease (client give-up, hold expiry,
@@ -279,6 +319,9 @@ func run() error {
 
 	t := metrics.NewTable(fmt.Sprintf("spidersim: %d peers on %d IP nodes, %d requests, budget %d",
 		*peers, *ipNodes, *requests, *budget), "metric", "value")
+	if scn != nil {
+		t.AddRow("scenario", scn.String())
+	}
 	t.AddRow("success ratio", ok.Value())
 	t.AddRow("hung compositions", attempted-completed)
 	t.AddRow("avg setup time", time.Duration(setup.Mean()*float64(time.Millisecond)))

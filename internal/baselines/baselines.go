@@ -38,6 +38,9 @@ type World interface {
 	// AllocBandwidth and ReleaseBandwidth admit/release link bandwidth.
 	AllocBandwidth(a, b p2p.NodeID, kbps float64) bool
 	ReleaseBandwidth(a, b p2p.NodeID, kbps float64)
+	// Peers lists every peer in the system, sorted by ID. The
+	// community/partition baseline clusters over this universe.
+	Peers() []p2p.NodeID
 }
 
 // Objective selects what the optimal algorithm minimizes.

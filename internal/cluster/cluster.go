@@ -676,3 +676,11 @@ func (w *world) ReleaseBandwidth(a, b p2p.NodeID, kbps float64) {
 		w.c.Overlay.ReleaseBandwidth(pth, kbps)
 	}
 }
+
+func (w *world) Peers() []p2p.NodeID {
+	ids := make([]p2p.NodeID, len(w.c.Peers))
+	for i := range ids {
+		ids[i] = p2p.NodeID(i)
+	}
+	return ids
+}

@@ -1,0 +1,347 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/bcp"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/qos"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// StressScenario names one adversarial traffic shape of the stress sweep.
+type StressScenario struct {
+	Name string // short row label ("flash", "churnstorm", ...)
+	Spec string // workload.ParseScenario grammar
+}
+
+// StressConfig parameterizes the adversarial-workload sweep: every scenario
+// (Zipf popularity, diurnal load, flash crowd, churn storm) is replayed
+// through SpiderNet's BCP and through the credible global-view baselines on
+// identically seeded clusters, so the per-cell differences are attributable
+// to the algorithm alone.
+type StressConfig struct {
+	Seed      int64
+	IPNodes   int
+	Peers     int
+	Functions int
+	// Scenarios lists the stress shapes swept; each spec must parse under
+	// workload.ParseScenario (Stress panics otherwise — the sweep is
+	// config-driven, not user-input-driven).
+	Scenarios []StressScenario
+	// PerUnit is the baseline offered load (requests per time unit) before
+	// the scenario's rate curve scales it.
+	PerUnit int
+	// TimeUnits is the run length; TimeUnit its simulated duration.
+	TimeUnits int
+	TimeUnit  time.Duration
+	// SessionLife is how long an admitted session holds its resources.
+	SessionLife time.Duration
+	// MinFuncs/MaxFuncs bound the function count per request.
+	MinFuncs, MaxFuncs int
+	// Capacity is the per-peer resource capacity (tight, so heavy-tailed
+	// popularity actually concentrates contention on the popular replicas).
+	Capacity qos.Resources
+	// DelayReqMin/Max bound the sampled end-to-end delay requirement (ms).
+	DelayReqMin, DelayReqMax float64
+	// Budget is SpiderNet's probing budget per request.
+	Budget int
+	// Model/Shed configure the load plane: both SpiderNet and the baselines
+	// run on clusters paying utilization-driven processing delay; SpiderNet
+	// additionally folds utilization into selection and sheds past Shed.
+	Model qos.LoadModel
+	Shed  float64
+	// RecoverAfter is how many time units a churn-storm victim stays down.
+	RecoverAfter int
+	// Trace, when non-nil, receives every cell's trace (byte-identical at
+	// any Parallel).
+	Trace obs.Tracer
+	// Parallel is the worker count for the scenario × algorithm cells.
+	Parallel int
+}
+
+// DefaultStressConfig returns the laptop-scale sweep: four scenarios
+// (heavy tail, diurnal, flash crowd, churn storm) over a 100-peer cluster.
+func DefaultStressConfig() StressConfig {
+	var cap qos.Resources
+	cap[qos.CPU] = 8
+	cap[qos.Memory] = 80
+	return StressConfig{
+		Seed:      1,
+		IPNodes:   1000,
+		Peers:     100,
+		Functions: 24,
+		Scenarios: []StressScenario{
+			{Name: "zipf", Spec: "zipf=1.1"},
+			{Name: "diurnal", Spec: "zipf=1.1,diurnal=8s@0.6"},
+			{Name: "flash", Spec: "zipf=1.1,flash=fn0:8@4s+4s"},
+			{Name: "churnstorm", Spec: "zipf=1.1,churn=0.04@4s+4s,seed=7"},
+		},
+		PerUnit:      8,
+		TimeUnits:    12,
+		TimeUnit:     time.Second,
+		SessionLife:  10 * time.Second,
+		MinFuncs:     2,
+		MaxFuncs:     3,
+		Capacity:     cap,
+		DelayReqMin:  150,
+		DelayReqMax:  400,
+		Budget:       6,
+		Model:        qos.LoadModel{Base: 20 * time.Millisecond, Cap: 0.95},
+		Shed:         0.8,
+		RecoverAfter: 3,
+	}
+}
+
+// StressPoint is one (scenario, algorithm) cell of the sweep.
+type StressPoint struct {
+	Scenario string // scenario name
+	Spec     string // canonical scenario spec
+	Alg      string
+	// Offered counts the requests actually issued (dead-source arrivals
+	// during churn are skipped identically for every algorithm).
+	Offered int
+	// Success is the composition success ratio over offered requests.
+	Success float64
+	// SetupP50/P99 are setup-latency percentiles in ms over successful
+	// compositions. The global-view baselines select instantaneously, so
+	// only the spidernet rows have non-zero setup.
+	SetupP50, SetupP99 float64
+	// UtilMax is the highest per-peer peak utilization seen in the run.
+	UtilMax float64
+	// Shed counts probes declined by overload shedding (spidernet only).
+	Shed int64
+}
+
+// StressResult is the full sweep.
+type StressResult struct {
+	Points []StressPoint
+	Table  *metrics.Table
+}
+
+// Algorithms swept by Stress, in cell order.
+const (
+	stressSpiderNet = iota
+	stressGreedy
+	stressRandom
+	stressBacktracking
+	stressCommunity
+	numStressAlgs
+)
+
+// stressAlgName maps the cell index to its row label.
+func stressAlgName(alg int) string {
+	switch alg {
+	case stressSpiderNet:
+		return "spidernet"
+	case stressGreedy:
+		return "greedy"
+	case stressRandom:
+		return "random"
+	case stressBacktracking:
+		return "backtracking"
+	case stressCommunity:
+		return "community"
+	}
+	return fmt.Sprintf("alg%d", alg)
+}
+
+// Stress sweeps every configured scenario over SpiderNet and the baseline
+// algorithms. Each cell replays the identical request and churn schedule on
+// a fresh identically seeded cluster; cells are independent, so the sweep
+// is byte-identical at any Parallel worker count.
+func Stress(cfg StressConfig) StressResult {
+	scns := make([]*workload.Scenario, len(cfg.Scenarios))
+	for i, s := range cfg.Scenarios {
+		scn, err := workload.ParseScenario(s.Spec)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: stress scenario %q: %v", s.Name, err))
+		}
+		scns[i] = scn
+	}
+	points := make([]StressPoint, len(cfg.Scenarios)*numStressAlgs)
+	runCells(len(points), cfg.Parallel, cfg.Trace, func(i int, tracer obs.Tracer) {
+		si, alg := i/numStressAlgs, i%numStressAlgs
+		points[i] = stressRun(cfg, cfg.Scenarios[si].Name, scns[si], alg, tracer)
+	})
+
+	var out StressResult
+	out.Points = points
+	t := metrics.NewTable("Stress: adversarial workloads × composition algorithms",
+		"scenario", "alg", "offered", "success", "setup p50 ms", "setup p99 ms",
+		"util max", "shed")
+	for _, p := range points {
+		t.AddRow(p.Scenario, p.Alg, p.Offered, p.Success, p.SetupP50, p.SetupP99,
+			p.UtilMax, p.Shed)
+	}
+	out.Table = t
+	return out
+}
+
+// stressRun replays one scenario through one algorithm. The request
+// schedule (arrival times, request contents) and the churn-storm schedule
+// are pure functions of (cfg, scenario), never of the algorithm, so every
+// algorithm faces exactly the same adversity.
+func stressRun(cfg StressConfig, name string, scn *workload.Scenario, alg int, tracer obs.Tracer) StressPoint {
+	bcpCfg := bcp.DefaultConfig()
+	bcpCfg.SoftTimeout = 2500 * time.Millisecond
+	load := cluster.LoadOptions{Model: cfg.Model}
+	if alg == stressSpiderNet {
+		load.Aware = true
+		load.Shed = cfg.Shed
+	}
+	counters := obs.NewRegistry()
+	c := cluster.New(cluster.Options{
+		Seed:     cfg.Seed,
+		IPNodes:  cfg.IPNodes,
+		Peers:    cfg.Peers,
+		Catalog:  fnCatalog(cfg.Functions),
+		Capacity: cfg.Capacity,
+		BCP:      bcpCfg,
+		Load:     &load,
+		Trace:    tracer,
+		Obs:      counters,
+	})
+	w := c.World()
+	gen := workload.NewGenerator(workload.Config{
+		Catalog:     fnCatalog(cfg.Functions),
+		Peers:       cfg.Peers,
+		MinFuncs:    cfg.MinFuncs,
+		MaxFuncs:    cfg.MaxFuncs,
+		DelayReqMin: cfg.DelayReqMin,
+		DelayReqMax: cfg.DelayReqMax,
+		Scenario:    scn,
+	}, newRng(cfg.Seed+100))
+
+	catalog := fnCatalog(cfg.Functions)
+	var offered int
+	var ratio metrics.Ratio
+	var setup metrics.Sample
+	arrivalRng := newRng(cfg.Seed + 200)
+	for unit := 0; unit < cfg.TimeUnits; unit++ {
+		unitStart := time.Duration(unit) * cfg.TimeUnit
+		// The scenario's rate curve (diurnal sine, flash surge) scales the
+		// offered load, evaluated at the unit boundary so the count is a
+		// deterministic function of the scenario alone.
+		n := int(float64(cfg.PerUnit)*scn.RateMult(unitStart, catalog) + 0.5)
+		for k := 0; k < n; k++ {
+			at := unitStart + time.Duration(arrivalRng.Float64()*float64(cfg.TimeUnit))
+			req := gen.NextAt(at)
+			req.Budget = cfg.Budget
+			c.Sim.Schedule(at-c.Sim.Now(), func() {
+				// Dead sources cannot issue requests; the skip depends only
+				// on the churn schedule, so it is identical across algorithms.
+				if !c.Net.Alive(req.Source) {
+					return
+				}
+				offered++
+				stressRequest(cfg, c, w, req, alg, &ratio, &setup)
+			})
+		}
+	}
+
+	// Churn storm: during the scenario's churn window, ChurnRate of the
+	// peers fails at every unit boundary and returns RecoverAfter units
+	// later. The victim stream is seeded from the scenario seed, isolated
+	// from the workload and cluster streams.
+	if scn.ChurnRate > 0 {
+		churnRng := newRng(cfg.Seed + 400 + scn.Seed)
+		for unit := 0; unit < cfg.TimeUnits; unit++ {
+			unitStart := time.Duration(unit) * cfg.TimeUnit
+			if !scn.ChurnActive(unitStart) {
+				continue
+			}
+			c.Sim.Schedule(unitStart-c.Sim.Now(), func() {
+				n := int(scn.ChurnRate * float64(cfg.Peers))
+				if n < 1 {
+					n = 1
+				}
+				perm := churnRng.Perm(cfg.Peers)
+				for i, failed := 0, 0; i < cfg.Peers && failed < n; i++ {
+					id := pid(perm[i])
+					if !c.Net.Alive(id) {
+						continue
+					}
+					c.Net.Fail(id)
+					failed++
+					c.Sim.Schedule(time.Duration(cfg.RecoverAfter)*cfg.TimeUnit, func() {
+						c.Net.Recover(id)
+					})
+				}
+			})
+		}
+	}
+
+	// Track each peer's peak utilization (the hotspot figure heavy tails
+	// and flash crowds are designed to produce).
+	peak := make([]float64, len(c.Peers))
+	horizon := time.Duration(cfg.TimeUnits)*cfg.TimeUnit + cfg.SessionLife
+	for at := time.Duration(0); at <= horizon; at += cfg.TimeUnit / 2 {
+		c.Sim.Schedule(at, func() {
+			for i, p := range c.Peers {
+				if u := p.Ledger.Utilization(); u > peak[i] {
+					peak[i] = u
+				}
+			}
+		})
+	}
+
+	c.Sim.Run(horizon + 30*time.Second)
+
+	var util metrics.Sample
+	for _, u := range peak {
+		util.Add(u)
+	}
+	return StressPoint{
+		Scenario: name,
+		Spec:     scn.String(),
+		Alg:      stressAlgName(alg),
+		Offered:  offered,
+		Success:  ratio.Value(),
+		SetupP50: setup.Percentile(50),
+		SetupP99: setup.Percentile(99),
+		UtilMax:  util.Max(),
+		Shed:     counters.Totals().ProbesShed,
+	}
+}
+
+// stressRequest issues one request through the cell's algorithm. SpiderNet
+// composes through BCP (paying discovery, probing, and setup latency); the
+// baselines select instantaneously from the global view and admit through
+// the same ledgers.
+func stressRequest(cfg StressConfig, c *cluster.Cluster, w baselines.World, req *service.Request, alg int, ratio *metrics.Ratio, setup *metrics.Sample) {
+	if alg == stressSpiderNet {
+		start := c.Sim.Now()
+		eng := c.Peers[int(req.Source)].Engine
+		eng.Compose(req, func(res bcp.Result) {
+			ratio.Add(res.Ok)
+			if res.Ok {
+				setup.AddDuration(c.Sim.Now() - start)
+				c.Sim.Schedule(cfg.SessionLife, func() { eng.Teardown(res.Best) })
+			}
+		})
+		return
+	}
+	var g *service.Graph
+	var ok bool
+	switch alg {
+	case stressGreedy:
+		g, ok = baselines.Greedy(w, req)
+	case stressRandom:
+		g, ok = baselines.Random(w, req, c.Rng.Intn)
+	case stressBacktracking:
+		g, _, ok = baselines.Backtracking(w, req, service.DefaultWeights(), baselines.BacktrackOptions{})
+	case stressCommunity:
+		g, ok = baselines.Community(w, req, baselines.DefaultCommunities)
+	}
+	success := ok && g.Qualified(req) && baselines.Admit(w, g)
+	ratio.Add(success)
+	if success {
+		c.Sim.Schedule(cfg.SessionLife, func() { baselines.Release(w, g) })
+	}
+}

@@ -6,6 +6,7 @@ package workload
 
 import (
 	"math/rand"
+	"time"
 
 	"repro/internal/fgraph"
 	"repro/internal/p2p"
@@ -45,6 +46,16 @@ type Config struct {
 	// CommuteProb is the probability a linear request carries one
 	// commutation link between two adjacent middle functions (default 0).
 	CommuteProb float64
+
+	// Popularity, when non-nil, weights function choice per catalogue index
+	// (weights need not be normalized; they must be non-negative and one per
+	// catalogue entry). Nil samples functions uniformly.
+	Popularity []float64
+	// Scenario, when non-nil, layers the time-varying stress shaping on top
+	// of Popularity: Zipf popularity (which then overrides Popularity) and
+	// flash-crowd boosts evaluated at the time passed to NextAt. Diurnal
+	// and churn keys are consumed by the experiment harness, not here.
+	Scenario *Scenario
 }
 
 func (c Config) withDefaults() Config {
@@ -90,8 +101,17 @@ func NewGenerator(cfg Config, rng *rand.Rand) *Generator {
 }
 
 // Next returns the next random request. Source and destination are distinct
-// random peers; functions are distinct random catalogue entries.
-func (g *Generator) Next() *service.Request {
+// random peers; functions are distinct random catalogue entries, weighted by
+// the configured popularity distribution (uniform when none). Equivalent to
+// NextAt(0); scenario-driven callers should pass the arrival time so flash
+// windows shape popularity.
+func (g *Generator) Next() *service.Request { return g.NextAt(0) }
+
+// NextAt returns the next random request as of simulated time at: function
+// popularity reflects the scenario's state (Zipf curve plus any flash crowd
+// active at that instant). With no scenario and no popularity configured it
+// is byte-identical to the pre-scenario generator.
+func (g *Generator) NextAt(at time.Duration) *service.Request {
 	c := g.cfg
 	g.nextID++
 	if g.nextID >= maxID {
@@ -101,7 +121,7 @@ func (g *Generator) Next() *service.Request {
 	if nf > len(c.Catalog) {
 		nf = len(c.Catalog)
 	}
-	fns := g.pickFunctions(nf)
+	fns := g.pickFunctions(nf, at)
 
 	var fg *fgraph.Graph
 	switch {
@@ -137,8 +157,20 @@ func (g *Generator) Next() *service.Request {
 	}
 }
 
-func (g *Generator) pickFunctions(n int) []string {
-	idx := g.rng.Perm(len(g.cfg.Catalog))[:n]
+// pickFunctions draws n distinct catalogue functions as of time at. Every
+// function choice routes through the one weighted sampler: the scenario's
+// time-varying weights when a scenario is set, the static Popularity
+// distribution otherwise, and the uniform draw when neither is configured.
+// (An earlier version ignored Popularity entirely and always sampled
+// uniformly; the regression test pins the weighted path.)
+func (g *Generator) pickFunctions(n int, at time.Duration) []string {
+	w := g.cfg.Popularity
+	if g.cfg.Scenario != nil {
+		if sw := g.cfg.Scenario.WeightsAt(at, g.cfg.Catalog); sw != nil {
+			w = sw
+		}
+	}
+	idx := weightedDistinct(g.rng, w, len(g.cfg.Catalog), n)
 	out := make([]string, n)
 	for i, j := range idx {
 		out[i] = g.cfg.Catalog[j]

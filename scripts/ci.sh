@@ -19,6 +19,9 @@ go test -race ./...
 # floor. Packages without test files are reported but do not fail the gate;
 # adding their first test pulls them in automatically.
 echo "== coverage gate (floor 50%)"
+# internal/workload and internal/baselines feed the stress acceptance gates,
+# so they must be measured — a package that loses its test files drops out of
+# the floor silently, and the awk END block catches that for these two.
 go test -cover ./... | awk '
     $1 != "ok" && /coverage:/ { printf "coverage: %-32s (no test files)\n", $1; next }
     $1 == "ok" && /no statements/ { printf "coverage: %-32s (no statements)\n", $2; next }
@@ -27,8 +30,15 @@ go test -cover ./... | awk '
         sub(/%.*/, "", pct)
         printf "coverage: %-32s %5.1f%%\n", $2, pct
         if (pct + 0 < 50) { printf "coverage: %s below 50%% floor\n", $2; bad = 1 }
+        measured[$2] = 1
     }
-    END { exit bad }'
+    END {
+        split("repro/internal/workload repro/internal/baselines", need, " ")
+        for (i in need) if (!(need[i] in measured)) {
+            printf "coverage: %s has no measured coverage (tests gone?)\n", need[i]; bad = 1
+        }
+        exit bad
+    }'
 
 # Memory-budget gate: building the 100k-node CSR graph plus the 10k-peer
 # compact overlay must fit the live-heap budget asserted by the test (64 MB;
@@ -96,6 +106,19 @@ echo "== chaos gate (loss=0.2, dup=0.05, jitter=10ms)"
     -faults "loss=0.2,dup=0.05,jitter=10ms,seed=3" -check -trace "$tmp/f2.jsonl" > /dev/null
 cmp "$tmp/f1.jsonl" "$tmp/f2.jsonl"
 
+# Flash-crowd chaos cell: the same faulty wire while a flash crowd piles
+# onto one function under a heavy-tailed popularity curve. Zero hung
+# compositions and a clean invariant check are required as usual, and the
+# scenario plane must be as deterministic as the fault plane.
+echo "== chaos gate: flash-crowd cell"
+"$tmp/spidersim" -seed 7 -ipnodes 400 -peers 60 -requests 100 -duration 3m \
+    -scenario "zipf=1.1,flash=fn0:6@60s+60s" \
+    -faults "loss=0.2,dup=0.05,jitter=10ms,seed=3" -check -trace "$tmp/fc1.jsonl" > /dev/null
+"$tmp/spidersim" -seed 7 -ipnodes 400 -peers 60 -requests 100 -duration 3m \
+    -scenario "zipf=1.1,flash=fn0:6@60s+60s" \
+    -faults "loss=0.2,dup=0.05,jitter=10ms,seed=3" -check -trace "$tmp/fc2.jsonl" > /dev/null
+cmp "$tmp/fc1.jsonl" "$tmp/fc2.jsonl"
+
 # Sharding gate: a 16-shard keyspace under the same chaos mix must finish
 # with zero hung compositions and a clean invariant check, stay byte-
 # deterministic across re-runs, and — with a single shard — produce exactly
@@ -152,6 +175,20 @@ cmp "$tmp/s1.txt" "$tmp/s8.txt"
 cmp "$tmp/s1.jsonl" "$tmp/s8.jsonl"
 cmp "$tmp/s8.txt" "$tmp/s8b.txt"
 cmp "$tmp/s8.jsonl" "$tmp/s8b.jsonl"
+
+# Stress gate: the adversarial-workload sweep (Zipf/diurnal/flash/churn ×
+# spidernet/greedy/random/backtracking/community) must be byte-identical
+# across worker counts and across re-runs, trace included. The acceptance
+# thresholds themselves (spidernet ≥ strawmen, p99 bounds) live in
+# TestStressGates, which `go test ./...` above already enforced.
+echo "== stress experiment determinism gate"
+"$tmp/spiderbench" -fig stress -parallel 1 -trace "$tmp/st1.jsonl" > "$tmp/st1.txt" 2> /dev/null
+"$tmp/spiderbench" -fig stress -parallel 8 -trace "$tmp/st8.jsonl" > "$tmp/st8.txt" 2> /dev/null
+"$tmp/spiderbench" -fig stress -parallel 8 -trace "$tmp/st8b.jsonl" > "$tmp/st8b.txt" 2> /dev/null
+cmp "$tmp/st1.txt" "$tmp/st8.txt"
+cmp "$tmp/st1.jsonl" "$tmp/st8.jsonl"
+cmp "$tmp/st8.txt" "$tmp/st8b.txt"
+cmp "$tmp/st8.jsonl" "$tmp/st8b.jsonl"
 
 # Federate experiment gate: the cross-domain 2PC sweep must be byte-identical
 # across worker counts, and no cell may leave an orphaned reservation (the
